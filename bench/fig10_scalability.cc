@@ -1,0 +1,50 @@
+// Figure 10 (Sec. 7.1.3): scalability — the SwissProt-like corpus is
+// replicated x1 / x2 / x3 (as in the paper) and the same query is timed.
+// Expected shape: |S_L|, the number of LCE nodes and the response time all
+// scale linearly with the replication factor.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  std::printf("Figure 10: response time vs replicated data size "
+              "(scale=%.2f)\n", gks::bench::Scale());
+
+  gks::bench::Corpus base = gks::bench::MakeSwissProt();
+  const std::string& xml = base.documents[0].second;
+  const char* query = "kinase domain membrane receptor";
+
+  std::printf("%6s | %10s | %10s | %10s | %10s\n", "copies", "data",
+              "|S_L|", "nodes", "RT (ms)");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (int copies = 1; copies <= 3; ++copies) {
+    gks::IndexBuilder builder;
+    for (int c = 0; c < copies; ++c) {
+      if (!builder.AddDocument(xml, "swissprot_" + std::to_string(c) + ".xml")
+               .ok()) {
+        return 1;
+      }
+    }
+    gks::Result<gks::XmlIndex> index = std::move(builder).Finalize();
+    if (!index.ok()) return 1;
+
+    double best = 1e99;
+    size_t sl = 0;
+    size_t nodes = 0;
+    for (int r = 0; r < 5; ++r) {
+      gks::WallTimer timer;
+      gks::SearchResponse response = gks::bench::RunQuery(*index, query, 2);
+      best = std::min(best, timer.ElapsedMillis());
+      sl = response.merged_list_size;
+      nodes = response.nodes.size();
+    }
+    std::printf("%6d | %10s | %10zu | %10zu | %10.3f\n", copies,
+                gks::HumanBytes(xml.size() * copies).c_str(), sl, nodes,
+                best);
+  }
+  std::printf("\nExpected shape (paper): every column linear in the number "
+              "of copies.\n");
+  return 0;
+}

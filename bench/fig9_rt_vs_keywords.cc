@@ -1,0 +1,55 @@
+// Figure 9 (Sec. 7.1.2): response time vs number of query keywords n
+// (2..16) on the NASA-like and SwissProt-like corpora. Expected shape:
+// for a given |S_L| the n-dependence is logarithmic (the k-way merge
+// heap), so doubling n far less than doubles RT when |S_L| grows slowly.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/names.h"
+
+namespace {
+
+void RunSeries(const char* label, const gks::XmlIndex& index,
+               const std::vector<std::string>& vocabulary) {
+  std::printf("\n%s:\n", label);
+  std::printf("%4s | %10s | %10s\n", "n", "|S_L|", "RT (ms)");
+  for (size_t n : {2u, 4u, 8u, 16u}) {
+    std::string query;
+    for (size_t i = 0; i < n && i < vocabulary.size(); ++i) {
+      if (!query.empty()) query += " ";
+      query += vocabulary[i];
+    }
+    double best = 1e99;
+    size_t sl = 0;
+    for (int r = 0; r < 5; ++r) {
+      gks::WallTimer timer;
+      gks::SearchResponse response = gks::bench::RunQuery(index, query, 2);
+      best = std::min(best, timer.ElapsedMillis());
+      sl = response.merged_list_size;
+    }
+    std::printf("%4zu | %10zu | %10.3f\n", n, sl, best);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 9: response time vs query keywords n (scale=%.2f)\n",
+              gks::bench::Scale());
+
+  gks::bench::Corpus nasa = gks::bench::MakeNasa();
+  gks::XmlIndex nasa_index = gks::bench::BuildIndex(nasa);
+  RunSeries("NASA-like", nasa_index, gks::data::AstroWords());
+
+  gks::bench::Corpus swiss = gks::bench::MakeSwissProt();
+  gks::XmlIndex swiss_index = gks::bench::BuildIndex(swiss);
+  RunSeries("SwissProt-like", swiss_index, gks::data::ProteinWords());
+
+  std::printf("\nExpected shape (paper): RT driven by |S_L|; the explicit "
+              "n factor is only O(log n).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 1 (Sec. 1.1): nodes returned by GKS / ELCA / SLCA for the three
+// motivating queries on the Figure 1 tree. Expected shape: GKS returns the
+// meaningful nodes even when LCA techniques return NULL or the root.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/match_trie.h"
+#include "bench/bench_util.h"
+#include "core/merged_list.h"
+#include "data/figures.h"
+
+namespace {
+
+std::string NameOf(const gks::DeweyId& id) {
+  // Friendly names for the Figure 1 nodes.
+  const struct {
+    const char* dewey;
+    const char* name;
+  } kNames[] = {{"d0.0", "r"},       {"d0.0.0", "x1"}, {"d0.0.0.4", "x2"},
+                {"d0.0.1", "x3"},    {"d0.0.1.2", "w"}, {"d0.0.2", "x4"}};
+  std::string text = id.ToString();
+  for (const auto& entry : kNames) {
+    if (text == entry.dewey) return entry.name;
+  }
+  return text;
+}
+
+std::string Join(const std::vector<gks::DeweyId>& ids) {
+  if (ids.empty()) return "NULL";
+  std::string out;
+  for (const gks::DeweyId& id : ids) {
+    if (!out.empty()) out += ", ";
+    out += "{" + NameOf(id) + "}";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  gks::IndexBuilder builder;
+  if (!builder.AddDocument(gks::data::Figure1Xml(), "figure1.xml").ok()) {
+    return 1;
+  }
+  gks::Result<gks::XmlIndex> index = std::move(builder).Finalize();
+  if (!index.ok()) return 1;
+
+  struct Row {
+    const char* label;
+    const char* query;
+    uint32_t s;  // 0 = |Q|
+  } rows[] = {
+      {"Q1, s=|Q1|", "ka kb kc", 0},
+      {"Q2, s=2", "ka kb ke", 2},
+      {"Q3, s=2", "ka kb kc kd", 2},
+  };
+
+  std::printf("Table 1: nodes returned per query (Figure 1 tree)\n");
+  std::printf("%-12s | %-24s | %-16s | %-16s\n", "Query", "GKS (ranked)",
+              "ELCA", "SLCA");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  for (const Row& row : rows) {
+    gks::SearchResponse response =
+        gks::bench::RunQuery(*index, row.query, row.s);
+    std::string gks_cell;
+    for (const gks::GksNode& node : response.nodes) {
+      if (!gks_cell.empty()) gks_cell += ", ";
+      gks_cell += "{" + NameOf(node.id) + "}";
+    }
+    if (gks_cell.empty()) gks_cell = "NULL";
+
+    gks::Result<gks::Query> query = gks::Query::Parse(row.query);
+    if (!query.ok()) return 1;
+    gks::MergedList sl = gks::MergedList::Build(*index, *query);
+    gks::MatchTrie trie(sl, query->size());
+
+    std::printf("%-12s | %-24s | %-16s | %-16s\n", row.label,
+                gks_cell.c_str(), Join(trie.ComputeElcas()).c_str(),
+                Join(trie.ComputeSlcas()).c_str());
+  }
+
+  std::printf("\nExample 5 ranks for Q3 (paper: x2=3, x3=2.5, x4=2):\n");
+  gks::SearchResponse q3 = gks::bench::RunQuery(*index, "ka kb kc kd", 2);
+  for (const gks::GksNode& node : q3.nodes) {
+    std::printf("  rank(%s) = %.2f\n", NameOf(node.id).c_str(), node.rank);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 4 (Sec. 7.1.1): index size and preparation time per dataset.
+// Expected shape: preparation time grows linearly with data size; index
+// size is slightly below data size; TreeBank has by far the largest depth.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using gks::bench::Corpus;
+  std::printf("Table 4: index size and preparation time (scale=%.2f)\n",
+              gks::bench::Scale());
+  std::printf("%-18s | %10s | %10s | %6s | %10s | %9s\n", "Data Set",
+              "Data Size", "Index Size", "Depth", "Prep Time", "MB/s");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  Corpus corpora[] = {
+      gks::bench::MakeSigmod(),   gks::bench::MakeMondial(),
+      gks::bench::MakePlays(),    gks::bench::MakeTreebank(),
+      gks::bench::MakeSwissProt(), gks::bench::MakeProteinSequence(),
+      gks::bench::MakeDblp(),
+  };
+  for (const Corpus& corpus : corpora) {
+    double seconds = 0;
+    gks::XmlIndex index = gks::bench::BuildIndex(corpus, &seconds);
+    size_t data_bytes = corpus.TotalBytes();
+    size_t index_bytes = gks::SerializeIndex(index).size();
+    double throughput =
+        seconds > 0 ? (static_cast<double>(data_bytes) / 1048576.0) / seconds
+                    : 0.0;
+    std::printf("%-18s | %10s | %10s | %6u | %8.2fs | %9.1f\n",
+                corpus.name.c_str(),
+                gks::HumanBytes(data_bytes).c_str(),
+                gks::HumanBytes(index_bytes).c_str(),
+                index.catalog.MaxDepth(), seconds, throughput);
+  }
+  std::printf("\nExpected shape (paper): prep time linear in data size; "
+              "index a bit smaller than the data; TreeBank depth >> rest.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Tables 6+7 (Sec. 7.3): for each benchmark query, the number of GKS nodes
+// at s=1 and s=|Q|/2, the SLCA count, the maximum number of query keywords
+// found in one GKS node, and the rank score. Expected shape: #GKS(s=1) >>
+// #SLCA (SLCA often 0 or a meaningless root), #GKS(s=|Q|/2) > 0 for every
+// query, rank score ~1.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/slca_ile.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+struct BenchQuery {
+  const char* id;
+  const char* dataset;  // key into the corpus map
+  std::string text;
+  size_t n;  // keyword count (for s = |Q|/2)
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Table 7: GKS vs SLCA result counts and rank score "
+              "(scale=%.2f)\n\n", gks::bench::Scale());
+
+  gks::bench::Corpus sigmod = gks::bench::MakeSigmod();
+  gks::bench::Corpus dblp = gks::bench::MakeDblp();
+  gks::bench::Corpus mondial = gks::bench::MakeMondial();
+  gks::bench::Corpus interpro = gks::bench::MakeInterPro();
+
+  gks::XmlIndex sigmod_index = gks::bench::BuildIndex(sigmod);
+  gks::XmlIndex dblp_index = gks::bench::BuildIndex(dblp);
+  gks::XmlIndex mondial_index = gks::bench::BuildIndex(mondial);
+  gks::XmlIndex interpro_index = gks::bench::BuildIndex(interpro);
+
+  auto IndexFor = [&](const std::string& name) -> const gks::XmlIndex& {
+    if (name == "SIGMOD") return sigmod_index;
+    if (name == "DBLP") return dblp_index;
+    if (name == "Mondial") return mondial_index;
+    return interpro_index;
+  };
+
+  // Analogues of the paper's Table 6: author-subset queries on the
+  // bibliographic corpora, mixed entity queries on Mondial/InterPro.
+  std::vector<BenchQuery> queries = {
+      {"QS1", "SIGMOD", gks::bench::CoAuthorQueryText(sigmod, 2), 2},
+      {"QS2", "SIGMOD", gks::bench::CoAuthorQueryText(sigmod, 4), 4},
+      {"QS3", "SIGMOD", gks::bench::CoAuthorQueryText(sigmod, 6), 6},
+      {"QS4", "SIGMOD", gks::bench::CoAuthorQueryText(sigmod, 8), 8},
+      {"QD1", "DBLP", gks::bench::AuthorQueryText(2), 2},
+      {"QD2", "DBLP", gks::bench::AuthorQueryText(4), 4},
+      {"QD3", "DBLP", gks::bench::AuthorQueryText(6), 6},
+      {"QD4", "DBLP", gks::bench::AuthorQueryText(8), 8},
+      {"QM1", "Mondial", "country Muslim", 2},
+      {"QM2", "Mondial", "Laos country name", 3},
+      {"QM3", "Mondial", "Polish Spanish German Luxembourg Bruges Catholic",
+       6},
+      {"QM4", "Mondial",
+       "Chinese Thai Muslim Buddhism Christianity Hinduism Orthodox "
+       "Catholic",
+       8},
+      {"QI1", "InterPro", "Kringle Domain", 2},
+      {"QI2", "InterPro", "publication 2002 Science", 3},
+  };
+
+  std::printf("%-5s | %-8s | %9s | %13s | %6s | %8s | %10s\n", "Query",
+              "Dataset", "#GKS,s=1", "#GKS,s=|Q|/2", "#SLCA", "Max kw",
+              "Rank score");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  for (const BenchQuery& bq : queries) {
+    const gks::XmlIndex& index = IndexFor(bq.dataset);
+    gks::SearchResponse s1 = gks::bench::RunQuery(index, bq.text, 1);
+    uint32_t half = static_cast<uint32_t>(bq.n / 2);
+    bool half_applicable = half >= 2;
+    gks::SearchResponse shalf =
+        half_applicable ? gks::bench::RunQuery(index, bq.text, half)
+                        : gks::SearchResponse{};
+
+    gks::Result<gks::Query> query = gks::Query::Parse(bq.text);
+    if (!query.ok()) return 1;
+    size_t slca_count = gks::ComputeSlcaIle(index, *query).size();
+
+    uint32_t max_kw = 0;
+    for (const gks::GksNode& node : s1.nodes) {
+      max_kw = std::max(max_kw, node.keyword_count);
+    }
+    char half_cell[16];
+    if (half_applicable) {
+      std::snprintf(half_cell, sizeof(half_cell), "%zu",
+                    shalf.nodes.size());
+    } else {
+      std::snprintf(half_cell, sizeof(half_cell), "NA");
+    }
+    std::printf("%-5s | %-8s | %9zu | %13s | %6zu | %8u | %10.3f\n", bq.id,
+                bq.dataset, s1.nodes.size(), half_cell, slca_count, max_kw,
+                gks::bench::RankScore(s1.nodes));
+  }
+  std::printf("\nExpected shape (paper): #GKS(s=1) >> #SLCA; #GKS(s=|Q|/2) "
+              "non-zero everywhere; rank score ~1.\n");
+  return 0;
+}

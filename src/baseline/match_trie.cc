@@ -1,0 +1,118 @@
+#include "baseline/match_trie.h"
+
+#include <algorithm>
+
+namespace gks {
+
+MatchTrie::MatchTrie(const MergedList& sl, size_t atom_count) {
+  full_mask_ = atom_count >= 64 ? ~0ull : (1ull << atom_count) - 1;
+  nodes_.push_back(TrieNode{});  // super-root above all documents
+
+  // Insert occurrences; S_L is sorted, so each insert walks down reusing
+  // the rightmost path (children are appended in order).
+  for (size_t i = 0; i < sl.size(); ++i) {
+    DeweySpan id = sl.IdAt(i);
+    int32_t current = 0;
+    for (uint32_t depth = 0; depth < id.size; ++depth) {
+      int32_t child = FindChild(current, id.data[depth]);
+      if (child < 0) {
+        child = static_cast<int32_t>(nodes_.size());
+        TrieNode node;
+        node.component = id.data[depth];
+        node.parent = current;
+        nodes_.push_back(std::move(node));
+        nodes_[current].children.push_back(child);
+      }
+      current = child;
+    }
+    nodes_[current].self_mask |= 1ull << sl.AtomAt(i);
+  }
+
+  // Bottom-up aggregation. Children always have larger indices than their
+  // parents (insertion order), so one reverse sweep suffices.
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    TrieNode& node = nodes_[i];
+    node.subtree_mask |= node.self_mask;
+    node.clean_mask |= node.self_mask;
+    for (int32_t child : node.children) {
+      node.subtree_mask |= nodes_[child].subtree_mask;
+      // Occurrences under a child that itself contains all keywords do not
+      // witness this node (ELCA exclusion rule).
+      if (nodes_[child].subtree_mask != full_mask_) {
+        node.clean_mask |= nodes_[child].clean_mask;
+      }
+    }
+  }
+}
+
+int32_t MatchTrie::FindChild(int32_t node, uint32_t component) const {
+  const std::vector<int32_t>& children = nodes_[node].children;
+  // Occurrences arrive sorted, so the match — if any — is the last child.
+  if (!children.empty() && nodes_[children.back()].component == component) {
+    return children.back();
+  }
+  for (int32_t child : children) {
+    if (nodes_[child].component == component) return child;
+  }
+  return -1;
+}
+
+DeweyId MatchTrie::IdOf(int32_t node) const {
+  std::vector<uint32_t> components;
+  while (node != 0) {
+    components.push_back(nodes_[node].component);
+    node = nodes_[node].parent;
+  }
+  std::reverse(components.begin(), components.end());
+  return DeweyId(std::move(components));
+}
+
+std::vector<DeweyId> MatchTrie::ComputeCas() const {
+  std::vector<DeweyId> out;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].subtree_mask == full_mask_) {
+      out.push_back(IdOf(static_cast<int32_t>(i)));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DeweyId> MatchTrie::ComputeSlcas() const {
+  std::vector<DeweyId> out;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].subtree_mask != full_mask_) continue;
+    bool has_full_child = false;
+    for (int32_t child : nodes_[i].children) {
+      if (nodes_[child].subtree_mask == full_mask_) {
+        has_full_child = true;
+        break;
+      }
+    }
+    if (!has_full_child) out.push_back(IdOf(static_cast<int32_t>(i)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DeweyId> MatchTrie::ComputeElcas() const {
+  std::vector<DeweyId> out;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].clean_mask == full_mask_) {
+      out.push_back(IdOf(static_cast<int32_t>(i)));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t MatchTrie::MaskOf(const DeweyId& id) const {
+  int32_t current = 0;
+  for (uint32_t component : id.components()) {
+    current = FindChild(current, component);
+    if (current < 0) return 0;
+  }
+  return nodes_[current].subtree_mask;
+}
+
+}  // namespace gks

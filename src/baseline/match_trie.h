@@ -1,0 +1,62 @@
+#ifndef GKS_BASELINE_MATCH_TRIE_H_
+#define GKS_BASELINE_MATCH_TRIE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/merged_list.h"
+#include "dewey/dewey_id.h"
+
+namespace gks {
+
+/// Reference implementation of the classic LCA-family semantics the paper
+/// compares against (Sec. 3, Table 1, Table 7):
+///
+///  * SLCA (Xu & Papakonstantinou, SIGMOD 2005): nodes containing every
+///    query keyword with no descendant that also contains every keyword;
+///  * ELCA (XRank, SIGMOD 2003): nodes containing every keyword after
+///    excluding occurrences under children that themselves contain all
+///    keywords (so ELCA is a superset of SLCA).
+///
+/// Built as a trie over the merged occurrence list: every distinct prefix
+/// of an occurrence's Dewey id is a trie node; keyword masks aggregate
+/// bottom-up. Exact by construction — used both as the Table 1/7 baseline
+/// and as the oracle the fast ILE implementation is property-tested
+/// against.
+class MatchTrie {
+ public:
+  /// Builds the trie for all occurrences in `sl`; `atom_count` is |Q|.
+  MatchTrie(const MergedList& sl, size_t atom_count);
+
+  /// Nodes whose subtree covers all keywords ("CA" nodes).
+  std::vector<DeweyId> ComputeCas() const;
+  std::vector<DeweyId> ComputeSlcas() const;
+  std::vector<DeweyId> ComputeElcas() const;
+
+  /// Subtree keyword mask of an arbitrary node (0 if no occurrence below).
+  uint64_t MaskOf(const DeweyId& id) const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct TrieNode {
+    uint32_t component = 0;       // edge label from the parent
+    int32_t parent = -1;
+    uint64_t self_mask = 0;       // keywords occurring exactly at this node
+    uint64_t subtree_mask = 0;
+    // Mask of keywords witnessed by an occurrence with no "full" node
+    // strictly between it and this node — the ELCA condition.
+    uint64_t clean_mask = 0;
+    std::vector<int32_t> children;
+  };
+
+  DeweyId IdOf(int32_t node) const;
+  int32_t FindChild(int32_t node, uint32_t component) const;
+
+  uint64_t full_mask_ = 0;
+  std::vector<TrieNode> nodes_;  // nodes_[0] is a synthetic super-root
+};
+
+}  // namespace gks
+
+#endif  // GKS_BASELINE_MATCH_TRIE_H_

@@ -1,0 +1,44 @@
+#include "baseline/naive_gks.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "baseline/match_trie.h"
+#include "core/merged_list.h"
+
+namespace gks {
+
+NaiveGksResult ComputeNaiveGks(const XmlIndex& index, const Query& query,
+                               uint32_t s, size_t max_keywords) {
+  NaiveGksResult result;
+  size_t n = query.size();
+  if (n == 0 || n > max_keywords) return result;
+
+  std::vector<DeweyId> all;
+  const uint64_t limit = 1ull << n;
+  for (uint64_t mask = 1; mask < limit; ++mask) {
+    if (static_cast<uint32_t>(std::popcount(mask)) < s) continue;
+    ++result.subsets_evaluated;
+
+    std::vector<std::string> keywords;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) keywords.push_back(query.atoms()[i].raw);
+    }
+    Result<Query> sub = Query::FromKeywords(keywords);
+    if (!sub.ok()) continue;
+
+    MergedList sl = MergedList::Build(index, *sub);
+    if (sl.empty()) continue;
+    MatchTrie trie(sl, sub->size());
+    for (DeweyId& id : trie.ComputeSlcas()) {
+      all.push_back(std::move(id));
+    }
+  }
+
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  result.nodes = std::move(all);
+  return result;
+}
+
+}  // namespace gks

@@ -1,0 +1,30 @@
+#ifndef GKS_BASELINE_NAIVE_GKS_H_
+#define GKS_BASELINE_NAIVE_GKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "dewey/dewey_id.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+struct NaiveGksResult {
+  /// Union of the SLCA sets of every keyword subset of size >= s.
+  std::vector<DeweyId> nodes;
+  /// Number of sub-queries evaluated — Lemma 3's exponential blow-up.
+  uint64_t subsets_evaluated = 0;
+};
+
+/// The naive strawman of Sec. 4: enumerate every subset Q' of the query
+/// with |Q'| >= s and run an LCA computation per subset. Exponential in
+/// |Q| (Lemma 3); implemented to power the Lemma 3 ablation benchmark and
+/// as an independent cross-check that GKS finds every subset's SLCAs.
+/// Refuses queries with more than `max_keywords` atoms (default 16).
+NaiveGksResult ComputeNaiveGks(const XmlIndex& index, const Query& query,
+                               uint32_t s, size_t max_keywords = 16);
+
+}  // namespace gks
+
+#endif  // GKS_BASELINE_NAIVE_GKS_H_

@@ -1,0 +1,80 @@
+#include "baseline/slca_ile.h"
+
+#include <algorithm>
+
+#include "core/merged_list.h"
+#include "index/posting_list.h"
+
+namespace gks {
+namespace {
+
+// Position of the first element >= id (document order).
+size_t LowerBound(const std::vector<DeweyId>& list, const DeweyId& id) {
+  return static_cast<size_t>(
+      std::lower_bound(list.begin(), list.end(), id,
+                       [](const DeweyId& a, const DeweyId& b) {
+                         return a.Compare(b) < 0;
+                       }) -
+      list.begin());
+}
+
+}  // namespace
+
+std::vector<DeweyId> ComputeSlcaIle(const XmlIndex& index,
+                                    const Query& query) {
+  std::vector<std::vector<DeweyId>> lists;
+  lists.reserve(query.size());
+  for (const QueryAtom& atom : query.atoms()) {
+    PackedIds occurrences = AtomOccurrences(index, atom);
+    if (occurrences.empty()) return {};  // AND semantics: any miss -> empty
+    std::vector<DeweyId> ids;
+    ids.reserve(occurrences.size());
+    for (size_t i = 0; i < occurrences.size(); ++i) {
+      ids.push_back(occurrences.IdAt(i));
+    }
+    lists.push_back(std::move(ids));
+  }
+
+  size_t smallest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  }
+
+  std::vector<DeweyId> candidates;
+  for (const DeweyId& v : lists[smallest]) {
+    DeweyId u = v;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (i == smallest) continue;
+      const std::vector<DeweyId>& list = lists[i];
+      size_t pos = LowerBound(list, u);
+      // Closest match: the deeper of lca(u, predecessor) / lca(u, successor).
+      DeweyId best;
+      if (pos < list.size()) best = u.CommonPrefix(list[pos]);
+      if (pos > 0) {
+        DeweyId left = u.CommonPrefix(list[pos - 1]);
+        if (left.components().size() > best.components().size()) best = left;
+      }
+      if (best.empty()) {
+        u = DeweyId();  // different documents entirely: no common ancestor
+        break;
+      }
+      u = best;
+    }
+    if (!u.empty()) candidates.push_back(std::move(u));
+  }
+
+  // Sort; drop duplicates and nodes that are ancestors of a later node
+  // (in document order an ancestor immediately precedes its descendants).
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<DeweyId> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i + 1 < candidates.size()) {
+      if (candidates[i] == candidates[i + 1]) continue;
+      if (candidates[i].IsAncestorOf(candidates[i + 1])) continue;
+    }
+    out.push_back(candidates[i]);
+  }
+  return out;
+}
+
+}  // namespace gks

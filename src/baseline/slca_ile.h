@@ -1,0 +1,24 @@
+#ifndef GKS_BASELINE_SLCA_ILE_H_
+#define GKS_BASELINE_SLCA_ILE_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "dewey/dewey_id.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// Indexed Lookup Eager SLCA (Xu & Papakonstantinou, SIGMOD 2005) — the
+/// O(n * d * |S_min| * log |S_max|) algorithm the paper cites as the state
+/// of the art for LCA retrieval (Sec. 4.2). For every occurrence of the
+/// rarest keyword, the closest occurrence of each other keyword (left or
+/// right match) is found by binary search and folded into an LCA; the
+/// candidate set minus ancestors is the SLCA set.
+///
+/// Property-tested against MatchTrie::ComputeSlcas.
+std::vector<DeweyId> ComputeSlcaIle(const XmlIndex& index, const Query& query);
+
+}  // namespace gks
+
+#endif  // GKS_BASELINE_SLCA_ILE_H_

@@ -1,0 +1,72 @@
+#include "baseline/stack_scan.h"
+
+#include <algorithm>
+
+namespace gks {
+namespace {
+
+struct Frame {
+  uint32_t component = 0;
+  uint64_t subtree_mask = 0;
+  uint64_t clean_mask = 0;   // witnesses not inside a full child
+  bool has_full_child = false;
+};
+
+}  // namespace
+
+StackScanResult ComputeSlcaElcaByStack(const MergedList& sl,
+                                       size_t atom_count) {
+  StackScanResult result;
+  if (sl.empty()) return result;
+  const uint64_t full =
+      atom_count >= 64 ? ~0ull : (1ull << atom_count) - 1;
+
+  std::vector<Frame> stack;
+  std::vector<uint32_t> path;  // components of the stacked frames
+
+  auto pop = [&]() {
+    Frame frame = stack.back();
+    stack.pop_back();
+    DeweyId id(path);
+    path.pop_back();
+    if (frame.subtree_mask == full && !frame.has_full_child) {
+      result.slcas.push_back(id);
+    }
+    if (frame.clean_mask == full) {
+      result.elcas.push_back(id);
+    }
+    if (!stack.empty()) {
+      Frame& parent = stack.back();
+      parent.subtree_mask |= frame.subtree_mask;
+      if (frame.subtree_mask == full) {
+        parent.has_full_child = true;
+      } else {
+        parent.clean_mask |= frame.clean_mask;
+      }
+    }
+  };
+
+  for (size_t i = 0; i < sl.size(); ++i) {
+    DeweySpan id = sl.IdAt(i);
+    // Longest common prefix with the current stack path.
+    uint32_t shared = 0;
+    uint32_t limit = std::min<uint32_t>(
+        id.size, static_cast<uint32_t>(path.size()));
+    while (shared < limit && path[shared] == id.data[shared]) ++shared;
+    while (stack.size() > shared) pop();
+    for (uint32_t depth = shared; depth < id.size; ++depth) {
+      path.push_back(id.data[depth]);
+      stack.push_back(Frame{id.data[depth], 0, 0, false});
+    }
+    uint64_t bit = 1ull << sl.AtomAt(i);
+    stack.back().subtree_mask |= bit;
+    stack.back().clean_mask |= bit;
+  }
+  while (!stack.empty()) pop();
+
+  std::sort(result.slcas.begin(), result.slcas.end());
+  std::sort(result.elcas.begin(), result.elcas.end());
+  return result;
+}
+
+}  // namespace gks

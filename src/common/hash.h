@@ -1,0 +1,25 @@
+#ifndef GKS_COMMON_HASH_H_
+#define GKS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace gks {
+
+/// Transparent string hasher enabling heterogeneous unordered_map lookups
+/// (find by string_view without constructing a std::string).
+struct TransparentStringHash {
+  using is_transparent = void;
+
+  size_t operator()(std::string_view text) const {
+    return std::hash<std::string_view>()(text);
+  }
+  size_t operator()(const std::string& text) const {
+    return std::hash<std::string_view>()(text);
+  }
+};
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_HASH_H_

@@ -1,0 +1,64 @@
+#ifndef GKS_COMMON_RESULT_H_
+#define GKS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gks {
+
+/// A value-or-error holder in the spirit of absl::StatusOr / arrow::Result.
+/// A Result is either OK and holds a T, or holds a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — the common success path.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status — the common error path.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result-returning expression to `lhs`, or returns
+/// the error Status from the enclosing function.
+#define GKS_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto GKS_CONCAT_(_gks_res_, __LINE__) = (expr);  \
+  if (!GKS_CONCAT_(_gks_res_, __LINE__).ok())      \
+    return GKS_CONCAT_(_gks_res_, __LINE__).status(); \
+  lhs = std::move(GKS_CONCAT_(_gks_res_, __LINE__)).value()
+
+#define GKS_CONCAT_INNER_(a, b) a##b
+#define GKS_CONCAT_(a, b) GKS_CONCAT_INNER_(a, b)
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_RESULT_H_

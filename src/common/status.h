@@ -1,0 +1,77 @@
+#ifndef GKS_COMMON_STATUS_H_
+#define GKS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gks {
+
+/// Error categories used across the library. Follows the RocksDB/Arrow
+/// convention of status-based error handling; GKS never throws.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,      // malformed XML / malformed index file
+  kIOError,
+  kNotSupported,
+  kOutOfRange,
+};
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case
+/// (no allocation); error statuses carry a message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" — for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function. The enclosing function must return Status.
+#define GKS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::gks::Status _gks_status = (expr);          \
+    if (!_gks_status.ok()) return _gks_status;   \
+  } while (false)
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_STATUS_H_

@@ -1,0 +1,76 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace gks {
+
+std::vector<std::string> SplitString(std::string_view input, char delim) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start <= input.size()) {
+    size_t end = input.find(delim, start);
+    if (end == std::string_view::npos) end = input.size();
+    if (end > start) pieces.emplace_back(input.substr(start, end - start));
+    start = end + 1;
+  }
+  return pieces;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string AsciiToLower(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace gks

@@ -1,0 +1,32 @@
+#ifndef GKS_COMMON_STRING_UTIL_H_
+#define GKS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gks {
+
+/// Splits `input` on `delim`, omitting empty pieces.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// ASCII lower-casing (the library's text pipeline is ASCII-oriented;
+/// non-ASCII bytes pass through unchanged).
+std::string AsciiToLower(std::string_view input);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Human-readable byte count, e.g. "1.4 MB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_STRING_UTIL_H_

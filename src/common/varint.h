@@ -1,0 +1,29 @@
+#ifndef GKS_COMMON_VARINT_H_
+#define GKS_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gks {
+
+/// LEB128-style variable-length integer encoding used by the on-disk index
+/// format. Small values (the common case for Dewey components and deltas)
+/// take one byte.
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Decodes a varint from the front of `*input`, advancing it past the
+/// consumed bytes. Returns Corruption on truncated or overlong input.
+Status GetVarint32(std::string_view* input, uint32_t* value);
+Status GetVarint64(std::string_view* input, uint64_t* value);
+
+/// Length-prefixed string helpers built on the varints above.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+Status GetLengthPrefixed(std::string_view* input, std::string* value);
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_VARINT_H_

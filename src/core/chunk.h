@@ -1,0 +1,50 @@
+#ifndef GKS_CORE_CHUNK_H_
+#define GKS_CORE_CHUNK_H_
+
+#include <cstddef>
+
+#include "core/lce.h"
+#include "core/merged_list.h"
+#include "core/query.h"
+#include "index/xml_index.h"
+#include "xml/dom.h"
+
+namespace gks {
+
+/// Builds Figure 2(b)-style result chunks: "GKS returns a well-constructed
+/// XML chunk" (Sec. 1.2). For a response node, the chunk is the node's
+/// subtree restricted to what matters for the query — the attribute leaves
+/// the node owns (its context, e.g. <Name>Data Mining</Name>) plus every
+/// matched keyword occurrence, with the intermediate elements on their
+/// paths reconstructed from the index (no access to the original XML is
+/// needed).
+class ChunkBuilder {
+ public:
+  /// Prepares the occurrence list once so chunks for many response nodes
+  /// of the same query are cheap. `index` must outlive the builder.
+  ChunkBuilder(const XmlIndex& index, const Query& query)
+      : index_(index), sl_(MergedList::Build(index, query)) {}
+
+  ChunkBuilder(const ChunkBuilder&) = delete;
+  ChunkBuilder& operator=(const ChunkBuilder&) = delete;
+
+  struct Options {
+    /// At most this many leaves (attribute values + matches) per chunk.
+    size_t max_leaves = 24;
+  };
+
+  /// The reconstructed chunk rooted at the response node's tag. Use
+  /// xml::WriteXml to render it.
+  xml::DomDocument Build(const GksNode& node, const Options& options) const;
+  xml::DomDocument Build(const GksNode& node) const {
+    return Build(node, Options());
+  }
+
+ private:
+  const XmlIndex& index_;
+  MergedList sl_;
+};
+
+}  // namespace gks
+
+#endif  // GKS_CORE_CHUNK_H_

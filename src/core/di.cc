@@ -1,0 +1,113 @@
+#include "core/di.h"
+
+#include <algorithm>
+#include <map>
+
+#include "text/analyzer.h"
+
+namespace gks {
+namespace {
+
+// Deepest self-or-ancestor entity of `id`, as a component vector.
+bool LowestEntityComponents(const XmlIndex& index, DeweySpan id,
+                            std::vector<uint32_t>* out) {
+  for (uint32_t len = id.size; len >= 1; --len) {
+    DeweySpan prefix{id.data, len};
+    const NodeInfo* info = index.nodes.Find(prefix);
+    if (info != nullptr && info->is_entity()) {
+      out->assign(prefix.data, prefix.data + prefix.size);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string DiKeyword::ToString() const {
+  std::string out = "<";
+  if (!path.empty()) {
+    // Use the attribute node's tag as the semantic label, prefixed with
+    // the LCE tag when the path is deeper than one hop.
+    if (path.size() > 2) {
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        out += path[i];
+        out += ": ";
+      }
+    } else {
+      out += path.back();
+      out += ": ";
+    }
+  }
+  out += value;
+  out += ">";
+  return out;
+}
+
+std::vector<DiKeyword> DiscoverDi(const XmlIndex& index,
+                                  const std::vector<GksNode>& nodes,
+                                  const Query& query,
+                                  const DiOptions& options) {
+  // Keyed by (attribute tag, value id): the same value under different tags
+  // carries different semantics ("2001" as a year vs as a street number).
+  std::map<std::pair<uint32_t, uint32_t>, DiKeyword> accumulated;
+
+  for (const GksNode& node : nodes) {
+    if (!node.is_lce || node.rank <= 0.0) continue;
+    DeweySpan entity = DeweySpan::Of(node.id);
+    auto [begin, end] = index.attributes.SubtreeRange(entity);
+    end = std::min(end, begin + options.max_attrs_per_node);
+    for (size_t i = begin; i < end; ++i) {
+      DeweySpan attr_id = index.attributes.IdAt(i);
+      // The value belongs to this LCE only if no deeper entity owns it.
+      std::vector<uint32_t> owner;
+      if (!LowestEntityComponents(index, attr_id, &owner)) continue;
+      if (owner.size() != entity.size ||
+          !std::equal(owner.begin(), owner.end(), entity.data)) {
+        continue;
+      }
+
+      uint32_t value_id = index.attributes.ValueAt(i);
+      const std::string& value = index.nodes.Value(value_id);
+      // Exclude values that repeat a query keyword (Sec. 6.2).
+      bool contains_query_term = false;
+      for (const std::string& term : text::Analyze(value)) {
+        if (query.ContainsTerm(term)) {
+          contains_query_term = true;
+          break;
+        }
+      }
+      if (contains_query_term) continue;
+
+      auto key = std::make_pair(index.attributes.TagAt(i), value_id);
+      DiKeyword& di = accumulated[key];
+      if (di.support == 0) {
+        di.value = value;
+        for (uint32_t len = entity.size; len <= attr_id.size; ++len) {
+          const NodeInfo* info =
+              index.nodes.Find(DeweySpan{attr_id.data, len});
+          di.path.push_back(info != nullptr
+                                ? index.nodes.TagName(info->tag_id)
+                                : "?");
+        }
+      }
+      di.weight += node.rank;
+      ++di.support;
+    }
+  }
+
+  std::vector<DiKeyword> out;
+  out.reserve(accumulated.size());
+  for (auto& [key, di] : accumulated) {
+    (void)key;
+    out.push_back(std::move(di));
+  }
+  std::sort(out.begin(), out.end(), [](const DiKeyword& a, const DiKeyword& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.value < b.value;
+  });
+  if (out.size() > options.top_m) out.resize(options.top_m);
+  return out;
+}
+
+}  // namespace gks

@@ -1,0 +1,48 @@
+#ifndef GKS_CORE_DI_H_
+#define GKS_CORE_DI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lce.h"
+#include "core/query.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// One element of the weighted keyword set S_w^Q (Sec. 6.2): an attribute
+/// value exposed by the LCE nodes of the query response, its schema path
+/// (tag names from the LCE down to the attribute node — the "semantics"
+/// of the keyword, e.g. ip -> year -> "2001"), and its weight — the sum of
+/// the ranks of every LCE node exposing it.
+struct DiKeyword {
+  std::string value;
+  std::vector<std::string> path;
+  double weight = 0.0;
+  uint32_t support = 0;  // number of LCE nodes exposing the value
+
+  /// "<year: 2001>" style rendering used by the Table 8 harness.
+  std::string ToString() const;
+};
+
+struct DiOptions {
+  size_t top_m = 5;
+  /// Safety valve for LCE nodes with enormous attribute fan-out (e.g. a
+  /// root-level response): at most this many directory entries are
+  /// scanned per node.
+  size_t max_attrs_per_node = 100000;
+};
+
+/// Discovers the top-m DI keywords (Def. 2.3.1) for a ranked response.
+/// Attribute values containing any query keyword are excluded ("if a
+/// keyword in the attribute node is part of the user query Q, it is not
+/// included in the set"). Runs in O(|S_w^Q|) plus the final top-m sort.
+std::vector<DiKeyword> DiscoverDi(const XmlIndex& index,
+                                  const std::vector<GksNode>& nodes,
+                                  const Query& query,
+                                  const DiOptions& options = {});
+
+}  // namespace gks
+
+#endif  // GKS_CORE_DI_H_

@@ -1,0 +1,97 @@
+#include "core/lce.h"
+
+#include <bit>
+#include <map>
+#include <set>
+
+#include "core/ranking.h"
+
+namespace gks {
+namespace {
+
+using ComponentVec = std::vector<uint32_t>;
+
+ComponentVec ToComponents(DeweySpan span) {
+  return ComponentVec(span.data, span.data + span.size);
+}
+
+// Deepest self-or-ancestor entity node of `id`; empty optional if none.
+bool LowestEntity(const XmlIndex& index, DeweySpan id, ComponentVec* out) {
+  for (uint32_t len = id.size; len >= 1; --len) {
+    DeweySpan prefix{id.data, len};
+    const NodeInfo* info = index.nodes.Find(prefix);
+    if (info != nullptr && info->is_entity()) {
+      *out = ToComponents(prefix);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<GksNode> ComputeGksNodes(const XmlIndex& index,
+                                     const MergedList& sl,
+                                     const std::vector<LcpCandidate>& lcps_in) {
+  // SLCA-style minimality: drop ancestors whose keyword set is already
+  // covered by their candidate descendants (Table 1's {x2}-not-{x1,x2,r}).
+  std::vector<LcpCandidate> lcps = PruneCoveredAncestors(sl, lcps_in);
+
+  // Entities with an independent witness: the lowest entity ancestor of at
+  // least one occurrence in S_L (Def. 2.2.1 restricted to query keywords).
+  std::set<ComponentVec> witnessed;
+  for (size_t i = 0; i < sl.size(); ++i) {
+    ComponentVec entity;
+    if (LowestEntity(index, sl.IdAt(i), &entity)) {
+      witnessed.insert(std::move(entity));
+    }
+  }
+
+  // Map each candidate to its response node; aggregate window counts for
+  // candidates that converge on the same node.
+  struct Agg {
+    bool is_lce = false;
+    uint32_t window_count = 0;
+  };
+  std::map<ComponentVec, Agg> nodes;
+  for (const LcpCandidate& lcp : lcps) {
+    DeweySpan span = DeweySpan::Of(lcp.node);
+    ComponentVec components = ToComponents(span);
+
+    // Attribute nodes cannot be meaningful response roots: lift to parent.
+    const NodeInfo* info = index.nodes.Find(span);
+    if (info != nullptr && info->is_attribute() && components.size() > 1) {
+      components.pop_back();
+      span = DeweySpan{components.data(),
+                       static_cast<uint32_t>(components.size())};
+    }
+
+    ComponentVec entity;
+    bool has_entity = LowestEntity(index, span, &entity);
+    if (has_entity && witnessed.count(entity) > 0) {
+      Agg& agg = nodes[entity];
+      agg.is_lce = true;
+      agg.window_count += lcp.window_count;
+    } else {
+      Agg& agg = nodes[components];
+      agg.window_count += lcp.window_count;
+    }
+  }
+
+  std::vector<GksNode> out;
+  out.reserve(nodes.size());
+  for (auto& [components, agg] : nodes) {
+    GksNode node;
+    node.id = DeweyId(components);
+    node.is_lce = agg.is_lce;
+    node.window_count = agg.window_count;
+    node.keyword_mask = sl.SubtreeMask(DeweySpan::Of(node.id));
+    node.keyword_count = static_cast<uint32_t>(std::popcount(node.keyword_mask));
+    node.rank = ComputePotentialFlowRank(index, sl, DeweySpan::Of(node.id),
+                                         node.keyword_mask);
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+}  // namespace gks

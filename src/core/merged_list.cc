@@ -1,0 +1,131 @@
+#include "core/merged_list.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "text/analyzer.h"
+
+namespace gks {
+namespace {
+
+// True if the element's tag satisfies the atom's constraint. Tags are
+// stored raw ("Course"); the constraint is analyzed, so compare through
+// the tag pipeline with per-tag-id memoization.
+class TagConstraintMatcher {
+ public:
+  TagConstraintMatcher(const XmlIndex& index, const std::string& constraint)
+      : index_(index), constraint_(constraint) {}
+
+  bool Matches(DeweySpan id) {
+    const NodeInfo* info = index_.nodes.Find(id);
+    if (info == nullptr) return false;
+    if (info->tag_id >= cache_.size()) cache_.resize(info->tag_id + 1, 0);
+    char& verdict = cache_[info->tag_id];
+    if (verdict == 0) {
+      text::AnalyzerOptions tag_options;
+      tag_options.remove_stopwords = false;
+      bool match = false;
+      for (const std::string& token :
+           text::Analyze(index_.nodes.TagName(info->tag_id), tag_options)) {
+        if (token == constraint_) {
+          match = true;
+          break;
+        }
+      }
+      verdict = match ? 1 : -1;
+    }
+    return verdict == 1;
+  }
+
+ private:
+  const XmlIndex& index_;
+  const std::string& constraint_;
+  std::vector<char> cache_;  // 0 unknown, 1 match, -1 mismatch
+};
+
+}  // namespace
+
+PackedIds AtomOccurrences(const XmlIndex& index, const QueryAtom& atom) {
+  PackedIds out;
+  std::vector<const PostingList*> lists;
+  for (const std::string& term : atom.terms) {
+    const PostingList* list = index.inverted.Find(term);
+    if (list == nullptr) return out;  // some token never occurs
+    lists.push_back(list);
+  }
+  const PostingList* smallest = *std::min_element(
+      lists.begin(), lists.end(),
+      [](const PostingList* a, const PostingList* b) {
+        return a->size() < b->size();
+      });
+
+  TagConstraintMatcher matcher(index, atom.tag_constraint);
+  for (size_t i = 0; i < smallest->size(); ++i) {
+    DeweySpan id = smallest->At(i);
+    bool in_all = true;
+    for (const PostingList* list : lists) {
+      if (list == smallest) continue;
+      size_t pos = list->SubtreeBegin(id);
+      if (pos >= list->size() || list->At(pos).Compare(id) != 0) {
+        in_all = false;
+        break;
+      }
+    }
+    if (!in_all) continue;
+    if (!atom.tag_constraint.empty() && !matcher.Matches(id)) continue;
+    out.Add(id);
+  }
+  return out;
+}
+
+MergedList MergedList::Build(const XmlIndex& index, const Query& query) {
+  MergedList out;
+  std::vector<PackedIds> lists;
+  lists.reserve(query.size());
+  for (const QueryAtom& atom : query.atoms()) {
+    lists.push_back(AtomOccurrences(index, atom));
+  }
+  for (size_t i = 0; i < lists.size(); ++i) {
+    out.atom_list_sizes_.push_back(lists[i].size());
+    if (lists[i].size() > 0) out.present_atoms_ |= 1ull << i;
+  }
+
+  // K-way merge with a min-heap of (list, position) cursors.
+  struct Cursor {
+    uint32_t list;
+    size_t pos;
+  };
+  auto greater = [&lists](const Cursor& a, const Cursor& b) {
+    int cmp = lists[a.list].At(a.pos).Compare(lists[b.list].At(b.pos));
+    if (cmp != 0) return cmp > 0;
+    return a.list > b.list;  // deterministic tie-break for equal ids
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+  for (uint32_t i = 0; i < lists.size(); ++i) {
+    if (lists[i].size() > 0) heap.push(Cursor{i, 0});
+  }
+  while (!heap.empty()) {
+    Cursor top = heap.top();
+    heap.pop();
+    out.ids_.Add(lists[top.list].At(top.pos));
+    out.atoms_.push_back(top.list);
+    if (top.pos + 1 < lists[top.list].size()) {
+      heap.push(Cursor{top.list, top.pos + 1});
+    }
+  }
+  return out;
+}
+
+uint64_t MergedList::MaskOfRange(size_t begin, size_t end) const {
+  uint64_t mask = 0;
+  for (size_t i = begin; i < end; ++i) mask |= 1ull << atoms_[i];
+  return mask;
+}
+
+uint64_t MergedList::SubtreeMask(DeweySpan prefix) const {
+  auto [begin, end] = SubtreeRange(prefix);
+  return MaskOfRange(begin, end);
+}
+
+}  // namespace gks

@@ -1,0 +1,63 @@
+#ifndef GKS_CORE_MERGED_LIST_H_
+#define GKS_CORE_MERGED_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "index/posting_list.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// The merged, document-ordered occurrence list S_L of Sec. 4.1: the
+/// posting lists of all query keywords, k-way merged by Dewey id. Phrase
+/// atoms first intersect their token lists (all tokens at the same node).
+///
+/// Storage is flat (PackedIds + parallel atom array); entry i is the pair
+/// (id, keyword index in the query).
+/// Materialized, document-ordered occurrence list of one query atom:
+/// a single term's posting list, the intersection of a phrase's token
+/// lists, and/or the subset whose containing element satisfies the atom's
+/// tag constraint. Shared by the merged-list builder and the ILE baseline.
+PackedIds AtomOccurrences(const XmlIndex& index, const QueryAtom& atom);
+
+class MergedList {
+ public:
+  /// Builds S_L for `query` against `index` in O(d * |S_L| * log n).
+  static MergedList Build(const XmlIndex& index, const Query& query);
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  DeweySpan IdAt(size_t i) const { return ids_.At(i); }
+  uint32_t AtomAt(size_t i) const { return atoms_[i]; }
+
+  /// Contiguous range of entries inside `prefix`'s subtree.
+  std::pair<size_t, size_t> SubtreeRange(DeweySpan prefix) const {
+    return {ids_.SubtreeBegin(prefix), ids_.SubtreeEnd(prefix)};
+  }
+
+  /// Unique-atom mask over the entries of [begin, end).
+  uint64_t MaskOfRange(size_t begin, size_t end) const;
+  /// Unique-atom mask of `prefix`'s whole subtree.
+  uint64_t SubtreeMask(DeweySpan prefix) const;
+
+  /// Bit set for every query atom that produced at least one posting.
+  uint64_t present_atoms() const { return present_atoms_; }
+
+  /// Per-atom posting counts after phrase intersection (|S_i| in Sec. 4).
+  const std::vector<size_t>& atom_list_sizes() const {
+    return atom_list_sizes_;
+  }
+
+ private:
+  PackedIds ids_;
+  std::vector<uint32_t> atoms_;
+  uint64_t present_atoms_ = 0;
+  std::vector<size_t> atom_list_sizes_;
+};
+
+}  // namespace gks
+
+#endif  // GKS_CORE_MERGED_LIST_H_

@@ -1,0 +1,24 @@
+#ifndef GKS_CORE_RANKING_H_
+#define GKS_CORE_RANKING_H_
+
+#include <cstdint>
+
+#include "core/merged_list.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// Potential-flow rank of one response node (Sec. 5). The node starts with
+/// potential P = number of unique query keywords in its subtree; potential
+/// divides equally among a node's direct children on the way down; the
+/// rank is the total potential arriving at the *terminal points* — the
+/// highest (shallowest) occurrence(s) of each keyword in the subtree.
+///
+/// Example 5 of the paper is reproduced by the unit tests: for
+/// Q3 = {a,b,c,d} on Figure 1, ranks are x2 = 3, x3 = 2.5, x4 = 2.
+double ComputePotentialFlowRank(const XmlIndex& index, const MergedList& sl,
+                                DeweySpan node, uint64_t keyword_mask);
+
+}  // namespace gks
+
+#endif  // GKS_CORE_RANKING_H_

@@ -1,0 +1,85 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+
+namespace gks {
+
+std::vector<RefinementSuggestion> SuggestRefinements(
+    const Query& query, const std::vector<GksNode>& ranked_nodes,
+    const std::vector<DiKeyword>& insights, size_t max_suggestions) {
+  const uint64_t full = query.full_mask();
+
+  // Distinct keyword subsets among the response nodes, keyed by mask, with
+  // the best rank seen for each.
+  std::map<uint64_t, double> subset_score;
+  for (const GksNode& node : ranked_nodes) {
+    if (node.keyword_mask == 0) continue;
+    double& best = subset_score[node.keyword_mask];
+    best = std::max(best, node.rank);
+  }
+
+  std::vector<RefinementSuggestion> out;
+  std::set<std::vector<std::string>> seen;
+
+  auto add = [&](RefinementSuggestion suggestion) {
+    std::vector<std::string> sorted = suggestion.keywords;
+    std::sort(sorted.begin(), sorted.end());
+    if (seen.insert(std::move(sorted)).second) {
+      out.push_back(std::move(suggestion));
+    }
+  };
+
+  // Sub-queries: the keyword distributions actually present in the data.
+  // A mask equal to the full query means the query already matches whole
+  // nodes — nothing to refine there.
+  for (const auto& [mask, score] : subset_score) {
+    if (mask == full || std::popcount(mask) < 2) continue;
+    RefinementSuggestion suggestion;
+    suggestion.kind = RefinementSuggestion::Kind::kSubQuery;
+    suggestion.score = score;
+    for (size_t i = 0; i < query.size(); ++i) {
+      if (mask & (1ull << i)) suggestion.keywords.push_back(query.atoms()[i].raw);
+    }
+    suggestion.rationale = "keyword subset co-occurring in the data";
+    add(std::move(suggestion));
+  }
+
+  // Morphs: take the best sub-query and extend it with top DI values,
+  // replacing keywords the data cannot satisfy together.
+  uint64_t best_mask = 0;
+  double best_score = -1.0;
+  for (const auto& [mask, score] : subset_score) {
+    if (mask == full) continue;
+    if (score > best_score) {
+      best_score = score;
+      best_mask = mask;
+    }
+  }
+  if (best_mask != 0) {
+    for (const DiKeyword& di : insights) {
+      RefinementSuggestion suggestion;
+      suggestion.kind = RefinementSuggestion::Kind::kMorph;
+      suggestion.score = best_score * 0.5 + di.weight * 0.5;
+      for (size_t i = 0; i < query.size(); ++i) {
+        if (best_mask & (1ull << i)) {
+          suggestion.keywords.push_back(query.atoms()[i].raw);
+        }
+      }
+      suggestion.keywords.push_back(di.value);
+      suggestion.rationale = "morph with DI keyword " + di.ToString();
+      add(std::move(suggestion));
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const RefinementSuggestion& a, const RefinementSuggestion& b) {
+              return a.score > b.score;
+            });
+  if (out.size() > max_suggestions) out.resize(max_suggestions);
+  return out;
+}
+
+}  // namespace gks

@@ -1,0 +1,36 @@
+#ifndef GKS_CORE_REFINEMENT_H_
+#define GKS_CORE_REFINEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/di.h"
+#include "core/lce.h"
+#include "core/query.h"
+
+namespace gks {
+
+/// A suggested rewrite of the user's query (Sec. 6.1): either a sub-query
+/// matching the keyword distribution actually present in the data (Q3 ->
+/// {a,b,c} and {a,b,d} in Example 1), or a morph that swaps absent/weak
+/// keywords for highly weighted DI keywords (Q2 = {a,b,e} -> {a,b,c}).
+struct RefinementSuggestion {
+  enum class Kind { kSubQuery, kMorph };
+
+  Kind kind = Kind::kSubQuery;
+  std::vector<std::string> keywords;
+  double score = 0.0;
+  std::string rationale;
+};
+
+/// Derives refinement suggestions from a ranked response and its DI.
+/// Sub-queries come from the distinct keyword subsets of the top-ranked
+/// nodes; morphs append top DI values to those subsets when the original
+/// query had keywords the data cannot satisfy together.
+std::vector<RefinementSuggestion> SuggestRefinements(
+    const Query& query, const std::vector<GksNode>& ranked_nodes,
+    const std::vector<DiKeyword>& insights, size_t max_suggestions = 5);
+
+}  // namespace gks
+
+#endif  // GKS_CORE_REFINEMENT_H_

@@ -1,0 +1,150 @@
+#include "core/searcher.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/timer.h"
+
+#include "core/merged_list.h"
+#include "core/window_scan.h"
+
+namespace gks {
+
+Result<SearchResponse> GksSearcher::Search(const Query& query,
+                                           const SearchOptions& options) const {
+  SearchResponse response;
+  uint32_t s = options.s == 0 ? static_cast<uint32_t>(query.size())
+                              : options.s;
+  s = std::min<uint32_t>(s, static_cast<uint32_t>(query.size()));
+  response.effective_s = s;
+
+  WallTimer total_timer;
+  WallTimer stage_timer;
+  MergedList sl = MergedList::Build(*index_, query);
+  response.merged_list_size = sl.size();
+  response.timings.merge_ms = stage_timer.ElapsedMillis();
+
+  stage_timer.Reset();
+  std::vector<LcpCandidate> candidates = ComputeLcpCandidates(sl, s);
+  response.candidate_count = candidates.size();
+  response.timings.window_ms = stage_timer.ElapsedMillis();
+
+  stage_timer.Reset();
+  response.nodes = ComputeGksNodes(*index_, sl, candidates);
+  for (const GksNode& node : response.nodes) {
+    if (node.is_lce) ++response.lce_count;
+  }
+  response.timings.lce_ms = stage_timer.ElapsedMillis();
+
+  // Rank: potential-flow score first, then keyword count, then document
+  // order for determinism.
+  std::sort(response.nodes.begin(), response.nodes.end(),
+            [](const GksNode& a, const GksNode& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              if (a.keyword_count != b.keyword_count) {
+                return a.keyword_count > b.keyword_count;
+              }
+              return a.id < b.id;
+            });
+
+  if (options.discover_di) {
+    stage_timer.Reset();
+    DiOptions di_options;
+    di_options.top_m = options.di_top_m;
+    response.insights = DiscoverDi(*index_, response.nodes, query, di_options);
+    response.timings.di_ms = stage_timer.ElapsedMillis();
+  }
+  if (options.suggest_refinements) {
+    stage_timer.Reset();
+    response.refinements =
+        SuggestRefinements(query, response.nodes, response.insights);
+    response.timings.refine_ms = stage_timer.ElapsedMillis();
+  }
+  if (options.max_results > 0 && response.nodes.size() > options.max_results) {
+    response.nodes.resize(options.max_results);
+  }
+  response.timings.total_ms = total_timer.ElapsedMillis();
+  return response;
+}
+
+std::string FormatSearchDiagnostics(const SearchResponse& response) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "s=%u  |S_L|=%zu  candidates=%zu  nodes=%zu (LCE %zu)\n"
+      "merge %.3fms | windows %.3fms | lce+rank %.3fms | di %.3fms | "
+      "refine %.3fms | total %.3fms",
+      response.effective_s, response.merged_list_size,
+      response.candidate_count, response.nodes.size(), response.lce_count,
+      response.timings.merge_ms, response.timings.window_ms,
+      response.timings.lce_ms, response.timings.di_ms,
+      response.timings.refine_ms, response.timings.total_ms);
+  return buf;
+}
+
+Result<SearchResponse> GksSearcher::Search(std::string_view query_text,
+                                           const SearchOptions& options) const {
+  GKS_ASSIGN_OR_RETURN(Query query, Query::Parse(query_text));
+  return Search(query, options);
+}
+
+Result<std::vector<std::vector<DiKeyword>>> GksSearcher::DiscoverRecursiveDi(
+    const Query& query, const SearchOptions& options, size_t rounds) const {
+  std::vector<std::vector<DiKeyword>> result;
+  Query current = query;
+  for (size_t round = 0; round < rounds; ++round) {
+    GKS_ASSIGN_OR_RETURN(SearchResponse response, Search(current, options));
+    if (response.insights.empty()) break;
+    result.push_back(response.insights);
+    std::vector<std::string> keywords;
+    for (const DiKeyword& di : response.insights) {
+      keywords.push_back(di.value);
+    }
+    Result<Query> next = Query::FromKeywords(keywords);
+    if (!next.ok()) break;  // DI values analyzed away: stop recursing
+    current = std::move(next).value();
+  }
+  return result;
+}
+
+std::string DescribeNode(const XmlIndex& index, const GksNode& node,
+                         size_t max_attrs) {
+  std::string out;
+  const NodeInfo* info = index.nodes.Find(node.id);
+  out += "<";
+  out += info != nullptr ? index.nodes.TagName(info->tag_id) : "?";
+  out += "> ";
+  out += node.id.ToString();
+  if (node.is_lce) out += " [LCE]";
+  if (info != nullptr) {
+    out += " [";
+    out += NodeFlagsToString(info->flags);
+    out += "]";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " keywords=%u rank=%.3f",
+                node.keyword_count, node.rank);
+  out += buf;
+
+  // Show the node's first few own attribute values as context.
+  auto [begin, end] = index.attributes.SubtreeRange(DeweySpan::Of(node.id));
+  size_t shown = 0;
+  std::string attrs;
+  for (size_t i = begin; i < end && shown < max_attrs; ++i) {
+    DeweySpan attr_id = index.attributes.IdAt(i);
+    if (attr_id.size != DeweySpan::Of(node.id).size + 1) continue;  // direct
+    if (shown > 0) attrs += ", ";
+    attrs += index.nodes.TagName(index.attributes.TagAt(i));
+    attrs += ": ";
+    attrs += index.nodes.Value(index.attributes.ValueAt(i));
+    ++shown;
+  }
+  if (!attrs.empty()) {
+    out += " {";
+    out += attrs;
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace gks

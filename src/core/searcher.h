@@ -1,0 +1,93 @@
+#ifndef GKS_CORE_SEARCHER_H_
+#define GKS_CORE_SEARCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/di.h"
+#include "core/lce.h"
+#include "core/query.h"
+#include "core/refinement.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+struct SearchOptions {
+  /// Minimum number of distinct query keywords a node's subtree must
+  /// contain (the paper's s). Clamped to min(s, |Q|); 0 means s = |Q|
+  /// (classic AND semantics over GKS nodes).
+  uint32_t s = 1;
+  /// Keep at most this many ranked nodes in the response (0 = unlimited).
+  size_t max_results = 0;
+  /// Number of DI keywords to surface.
+  size_t di_top_m = 5;
+  /// Skip DI discovery (benchmarking search in isolation).
+  bool discover_di = true;
+  /// Skip refinement suggestions.
+  bool suggest_refinements = true;
+};
+
+/// A GKS response: ranked nodes, DI keywords, refinement suggestions, and
+/// search diagnostics (sizes that the paper's complexity analysis and
+/// Figures 8-10 are expressed in).
+struct SearchResponse {
+  std::vector<GksNode> nodes;                       // sorted by rank desc
+  std::vector<DiKeyword> insights;                  // top-m DI
+  std::vector<RefinementSuggestion> refinements;
+  uint32_t effective_s = 0;
+  size_t merged_list_size = 0;   // |S_L|
+  size_t candidate_count = 0;    // LCP-list entries
+  size_t lce_count = 0;          // responses that are LCE nodes
+
+  /// Per-stage wall-clock, for the complexity analysis and --explain.
+  struct Timings {
+    double merge_ms = 0.0;    // k-way merge of the posting lists
+    double window_ms = 0.0;   // sliding-window LCP candidates
+    double lce_ms = 0.0;      // pruning + LCE mapping + ranking
+    double di_ms = 0.0;       // DI discovery
+    double refine_ms = 0.0;   // refinement suggestions
+    double total_ms = 0.0;
+  };
+  Timings timings;
+};
+
+/// Multi-line description of the search diagnostics ("explain" output).
+std::string FormatSearchDiagnostics(const SearchResponse& response);
+
+/// Facade over the whole Sec. 4-6 pipeline: merged list -> sliding-window
+/// LCP candidates -> LCE mapping with independent witnesses -> potential
+/// flow ranking -> DI -> refinements.
+class GksSearcher {
+ public:
+  /// `index` must outlive the searcher.
+  explicit GksSearcher(const XmlIndex* index) : index_(index) {}
+
+  Result<SearchResponse> Search(const Query& query,
+                                const SearchOptions& options = {}) const;
+  /// Parses `query_text` (quotes delimit phrases) and searches.
+  Result<SearchResponse> Search(std::string_view query_text,
+                                const SearchOptions& options = {}) const;
+
+  /// Recursive DI discovery (Sec. 2.3): round 0 returns DI^0 for `query`;
+  /// each later round feeds the previous round's top-m DI values back as
+  /// the next query. Stops early when a round yields no DI.
+  Result<std::vector<std::vector<DiKeyword>>> DiscoverRecursiveDi(
+      const Query& query, const SearchOptions& options, size_t rounds) const;
+
+  const XmlIndex& index() const { return *index_; }
+
+ private:
+  const XmlIndex* index_;
+};
+
+/// One-line description of a response node for CLIs and examples:
+/// "<Course> d0.0.1.1.0 [EN] keywords=3 rank=3.00 {Name: Data Mining}".
+std::string DescribeNode(const XmlIndex& index, const GksNode& node,
+                         size_t max_attrs = 3);
+
+}  // namespace gks
+
+#endif  // GKS_CORE_SEARCHER_H_

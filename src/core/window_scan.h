@@ -1,0 +1,42 @@
+#ifndef GKS_CORE_WINDOW_SCAN_H_
+#define GKS_CORE_WINDOW_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/merged_list.h"
+#include "dewey/dewey_id.h"
+
+namespace gks {
+
+/// One entry of the Longest-Common-Prefix list (Sec. 4.1, Figure 4): a
+/// node that is the LCA of at least one minimal block of occurrences
+/// covering `s` unique query keywords, plus the number of such blocks
+/// (the paper's per-prefix counter).
+struct LcpCandidate {
+  DeweyId node;
+  uint32_t window_count = 0;
+};
+
+/// Slides a minimal window with `s` *unique* keywords over the merged list
+/// (the sU(l, r, s) loop of algorithm GKSNodes) and collects the longest
+/// common prefix of each window's first and last Dewey ids (Lemma 6).
+/// Candidates are returned deduplicated, in document order.
+/// Runs in O(d * |S_L|).
+std::vector<LcpCandidate> ComputeLcpCandidates(const MergedList& sl,
+                                               uint32_t s);
+
+/// The paper's "GKS follows the semantics of SLCA" rule: an ancestor
+/// candidate that contributes no query keyword beyond the union of its
+/// candidate descendants is redundant and dropped — this is exactly why
+/// Table 1 reports {x2} rather than {x1, x2, r} for Q1, and why the
+/// document root never swamps the response ("r is not a meaningful
+/// response as it is available to the user even in the absence of any
+/// query"). Candidates must be in document order; a single stack sweep
+/// computes each candidate's descendant-mask union.
+std::vector<LcpCandidate> PruneCoveredAncestors(
+    const MergedList& sl, std::vector<LcpCandidate> candidates);
+
+}  // namespace gks
+
+#endif  // GKS_CORE_WINDOW_SCAN_H_

@@ -1,0 +1,47 @@
+#include "data/dblp_gen.h"
+
+#include <vector>
+
+#include "data/gen_util.h"
+#include "data/names.h"
+
+namespace gks::data {
+
+std::string GenerateDblp(const DblpOptions& options) {
+  Rng rng(options.seed);
+  XmlBuilder xml;
+  xml.Open("dblp");
+  for (size_t i = 0; i < options.articles; ++i) {
+    bool inproceedings = rng.Chance(options.inproceedings_fraction);
+    xml.Open(inproceedings ? "inproceedings" : "article");
+
+    uint32_t authors = rng.Chance(options.single_author_fraction)
+                           ? 1
+                           : rng.Range(2, options.max_authors);
+    std::vector<std::string> names;
+    while (names.size() < authors) {
+      std::string name = MakeAuthorName(rng);
+      bool duplicate = false;
+      for (const std::string& existing : names) {
+        if (existing == name) duplicate = true;
+      }
+      if (!duplicate) names.push_back(std::move(name));
+    }
+    for (const std::string& name : names) xml.Leaf("author", name);
+    xml.Leaf("title", MakeTitle(rng, 4 + rng.Uniform(5), TitleWords()));
+    if (inproceedings) {
+      xml.Leaf("booktitle", rng.Pick(ConferenceNames()));
+    } else {
+      xml.Leaf("journal", rng.Pick(JournalNames()));
+      xml.Leaf("volume", std::to_string(1 + rng.Uniform(40)));
+    }
+    xml.Leaf("year", std::to_string(1990 + rng.Zipf(26)));
+    xml.Leaf("pages", std::to_string(1 + rng.Uniform(400)) + "-" +
+                          std::to_string(401 + rng.Uniform(50)));
+    xml.Close();
+  }
+  xml.Close();
+  return xml.Take();
+}
+
+}  // namespace gks::data

@@ -1,0 +1,29 @@
+#ifndef GKS_DATA_DBLP_GEN_H_
+#define GKS_DATA_DBLP_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gks::data {
+
+/// Synthetic stand-in for the DBLP bibliography (the paper's largest
+/// dataset, 1.45 GB / 2.5M articles — Sec. 7, Example 2). Structure is
+/// schema-faithful: a flat <dblp> root of <article> / <inproceedings>
+/// entries with 1..max_authors <author> children (Zipf-skewed names so a
+/// few authors are prolific and co-occur), <title>, <year>, and <journal>
+/// or <booktitle>. Depth 3 like the original; scale via `articles`.
+struct DblpOptions {
+  size_t articles = 20000;
+  uint32_t seed = 7;
+  uint32_t max_authors = 5;
+  double inproceedings_fraction = 0.5;
+  /// Fraction of entries with a single author — drives the paper's
+  /// "single-author <article> becomes a connecting node" observation.
+  double single_author_fraction = 0.35;
+};
+
+std::string GenerateDblp(const DblpOptions& options = {});
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_DBLP_GEN_H_

@@ -1,0 +1,93 @@
+#include "data/figures.h"
+
+namespace gks::data {
+
+std::string Figure1Xml() {
+  // Layout chosen so that every number the paper derives from Figure 1
+  // reproduces exactly:
+  //  * Q1 = {a,b,c}, s=3: GKS = {x2}; SLCA = {x2}; ELCA includes x1 and x2
+  //    (x1 holds independent a, b, c instances outside x2).
+  //  * Q2 = {a,b,e}, s=2: GKS = {x2, x3}; SLCA/ELCA empty.
+  //  * Q3 = {a,b,c,d}, s=2: GKS = {x2, x3, x4} with the Example 5 ranks
+  //    3, 2.5, 2 — x3's d sits under the two-child wrapper <w> so exactly
+  //    half of one potential share reaches it.
+  // f instances are query-irrelevant noise. The paper's single-letter
+  // keywords are spelled ka/kb/kc/kd/kf here because bare "a" is an
+  // English stop word and would be dropped by the query analyzer.
+  return R"(<r>
+  <x1>
+    <t>kf</t>
+    <t>ka</t>
+    <t>kb</t>
+    <t>kc</t>
+    <x2>
+      <t>ka</t>
+      <t>kb</t>
+      <t>kc</t>
+    </x2>
+  </x1>
+  <x3>
+    <t>ka</t>
+    <t>kb</t>
+    <w>
+      <t>kd</t>
+      <t>kf</t>
+    </w>
+  </x3>
+  <x4>
+    <t>kc</t>
+    <t>kd</t>
+  </x4>
+</r>
+)";
+}
+
+std::string Figure2aXml() {
+  return R"(<Dept>
+  <Dept_Name>CS</Dept_Name>
+  <Area>
+    <Name>Databases</Name>
+    <Courses>
+      <Course>
+        <Name>Data Mining</Name>
+        <Students>
+          <Student>Karen</Student>
+          <Student>Mike</Student>
+          <Student>John</Student>
+        </Students>
+      </Course>
+      <Course>
+        <Name>Algorithms</Name>
+        <Students>
+          <Student>Julie</Student>
+          <Student>John</Student>
+        </Students>
+      </Course>
+      <Course>
+        <Name>AI</Name>
+        <Students>
+          <Student>Karen</Student>
+          <Student>Mike</Student>
+          <Student>Serena</Student>
+          <Student>Peter</Student>
+        </Students>
+      </Course>
+    </Courses>
+  </Area>
+  <Area>
+    <Name>Theory</Name>
+    <Courses>
+      <Course>
+        <Name>Logic</Name>
+        <Students>
+          <Student>Peter</Student>
+          <Student>Serena</Student>
+        </Students>
+      </Course>
+    </Courses>
+  </Area>
+</Dept>
+)";
+}
+
+}  // namespace gks::data

@@ -1,0 +1,23 @@
+#ifndef GKS_DATA_FIGURES_H_
+#define GKS_DATA_FIGURES_H_
+
+#include <string>
+
+namespace gks::data {
+
+/// The labeled tree of Figure 1(i): root r with subtrees x1..x4 whose
+/// leaves carry the single-letter keywords a-f as text. Used by the
+/// Table 1 / Example 5 tests and the table1 bench. Keyword instances are
+/// <t>a</t>-style leaf elements so tags never collide with keywords.
+std::string Figure1Xml();
+
+/// The university document of Figure 2(a): Dept -> Area -> Courses ->
+/// Course -> {Name, Students -> Student}. Ground truth for the node
+/// categorization tests (Area/Course/Dept are entity nodes, Students /
+/// Courses connecting, Student repeating, Name attribute) and for the
+/// Example 3/4 search + DI tests.
+std::string Figure2aXml();
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_FIGURES_H_

@@ -1,0 +1,67 @@
+#include "data/mondial_gen.h"
+
+#include <cstdio>
+
+#include "data/gen_util.h"
+#include "data/names.h"
+
+namespace gks::data {
+namespace {
+
+std::string Percentage(Rng& rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.1f", 0.5 + rng.Uniform(995) / 10.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string GenerateMondial(const MondialOptions& options) {
+  Rng rng(options.seed);
+  XmlBuilder xml;
+  xml.Open("mondial");
+  for (size_t i = 0; i < options.countries; ++i) {
+    xml.Open("country");
+    // Mondial uses opaque car_code-style ids (the paper's DI output shows
+    // values like "f0_475"); keep that flavour.
+    xml.Leaf("car_code", "f0_" + std::to_string(100 + rng.Uniform(900)));
+    xml.Leaf("name", rng.Pick(CountryNames()));
+    xml.Leaf("population", std::to_string(100000 + rng.Uniform(90000000)));
+    xml.Leaf("population_growth", Percentage(rng));
+    xml.Leaf("year", std::to_string(90 + rng.Uniform(10)));
+
+    uint32_t religions = 1 + rng.Uniform(3);
+    for (uint32_t r = 0; r < religions; ++r) {
+      xml.Open("religion");
+      xml.Leaf("name", rng.Pick(ReligionNames()));
+      xml.Leaf("percentage", Percentage(rng));
+      xml.Close();
+    }
+    uint32_t languages = 1 + rng.Uniform(3);
+    for (uint32_t l = 0; l < languages; ++l) {
+      xml.Open("language");
+      xml.Leaf("name", rng.Pick(LanguageNames()));
+      xml.Leaf("percentage", Percentage(rng));
+      xml.Close();
+    }
+
+    uint32_t provinces = 1 + rng.Uniform(options.max_provinces);
+    for (uint32_t p = 0; p < provinces; ++p) {
+      xml.Open("province");
+      xml.Leaf("name", rng.Pick(CityNames()) + " Province");
+      uint32_t cities = 1 + rng.Uniform(options.max_cities);
+      for (uint32_t c = 0; c < cities; ++c) {
+        xml.Open("city");
+        xml.Leaf("name", rng.Pick(CityNames()));
+        xml.Leaf("population", std::to_string(1000 + rng.Uniform(5000000)));
+        xml.Close();
+      }
+      xml.Close();
+    }
+    xml.Close();  // country
+  }
+  xml.Close();
+  return xml.Take();
+}
+
+}  // namespace gks::data

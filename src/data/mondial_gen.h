@@ -1,0 +1,24 @@
+#ifndef GKS_DATA_MONDIAL_GEN_H_
+#define GKS_DATA_MONDIAL_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gks::data {
+
+/// Synthetic Mondial geography database: <mondial> -> <country> with
+/// name/population attributes-as-elements, repeated <religion> /
+/// <language> percentage leaves, and <province> -> <city> nesting. Covers
+/// the QM1-QM4 query shapes (countries by religion/language mixes).
+struct MondialOptions {
+  size_t countries = 120;
+  uint32_t seed = 13;
+  uint32_t max_provinces = 6;
+  uint32_t max_cities = 5;
+};
+
+std::string GenerateMondial(const MondialOptions& options = {});
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_MONDIAL_GEN_H_

@@ -1,0 +1,188 @@
+#include "data/names.h"
+
+namespace gks::data {
+namespace {
+
+std::vector<std::string> MakeList(std::initializer_list<const char*> items) {
+  return std::vector<std::string>(items.begin(), items.end());
+}
+
+}  // namespace
+
+const std::vector<std::string>& FirstNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"Peter",  "Wenfei",   "Scott",  "Prithviraj", "Karen",   "Mike",
+       "John",   "Julie",    "Serena", "Harry",      "Alok",    "Marek",
+       "Anna",   "Boris",    "Chen",   "Dimitri",    "Elena",   "Felix",
+       "Grace",  "Hiro",     "Ingrid", "Jorge",      "Katya",   "Liam",
+       "Maria",  "Nikhil",   "Olga",   "Pavel",      "Qing",    "Rosa",
+       "Samir",  "Tanya",    "Umesh",  "Vera",       "Walter",  "Xia",
+       "Yuki",   "Zoe",      "Amit",   "Bruno",      "Carla",   "Deepak",
+       "Erik",   "Fatima",   "Gustav", "Helga",      "Ivan",    "Jin",
+       "Krithi", "Manoj"}));
+  return names;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"Buneman",    "Fan",        "Weinstein", "Banerjee",  "Agarwal",
+       "Ramamritham", "Choudhary", "Rusinkiewicz", "Codd",   "Gray",
+       "Stonebraker", "Rowe",      "DeWitt",    "Katz",      "Sellis",
+       "Patterson",  "Gibson",     "Dayal",     "Buchmann",  "Rosenthal",
+       "Hornick",    "Manola",     "Traiger",   "Watson",    "Chang",
+       "Roussopoulos", "Cadiou",   "Deckert",   "Morrison",  "Georgakopoulos",
+       "Meynadier",  "Behm",       "Kaplan",    "Trueblood", "Ghosh",
+       "Lin",        "Blaustein",  "Chakravarthy", "Hsu",    "Ledin",
+       "McCarthy",   "Wasserman",  "Papakonstantinou", "Xu", "Liu",
+       "Chen",       "Bao",        "Ling",      "Lu",        "Zhou"}));
+  return names;
+}
+
+const std::vector<std::string>& TitleWords() {
+  static const auto& words = *new std::vector<std::string>(MakeList(
+      {"efficient", "keyword",     "search",      "xml",        "databases",
+       "query",     "processing",  "semantic",    "ranking",    "index",
+       "distributed", "transaction", "concurrency", "recovery", "optimization",
+       "streaming", "parallel",    "adaptive",    "scalable",   "incremental",
+       "relational", "schema",     "integration", "mining",     "clustering",
+       "graph",     "temporal",    "spatial",     "probabilistic", "approximate",
+       "views",     "materialized", "caching",    "storage",    "compression",
+       "partitioning", "replication", "consistency", "benchmark", "workload"}));
+  return words;
+}
+
+const std::vector<std::string>& JournalNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"SIGMOD Record", "TODS", "VLDB Journal", "TKDE", "JACM", "TCS",
+       "Information Systems", "IBM Research Report", "Computing Surveys",
+       "Data Engineering Bulletin"}));
+  return names;
+}
+
+const std::vector<std::string>& ConferenceNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"SIGMOD", "VLDB", "ICDE", "EDBT", "ICDT", "CIKM", "WWW", "KDD",
+       "ICPP", "ICCD", "PODS", "SOSP"}));
+  return names;
+}
+
+const std::vector<std::string>& CountryNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"Laos",      "Zimbabwe", "Luxembourg", "Brunei",   "Albania",
+       "Bolivia",   "Croatia",  "Denmark",    "Ecuador",  "Finland",
+       "Ghana",     "Hungary",  "Iceland",    "Jordan",   "Kenya",
+       "Latvia",    "Morocco",  "Nepal",      "Oman",     "Peru",
+       "Qatar",     "Romania",  "Senegal",    "Tunisia",  "Uruguay",
+       "Vietnam",   "Yemen",    "Zambia",     "Belgium",  "Chile"}));
+  return names;
+}
+
+const std::vector<std::string>& CityNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"Bruges",   "Vientiane", "Harare",  "Tirana",   "LaPaz",
+       "Zagreb",   "Copenhagen", "Quito",  "Helsinki", "Accra",
+       "Budapest", "Reykjavik", "Amman",   "Nairobi",  "Riga",
+       "Rabat",    "Kathmandu", "Muscat",  "Lima",     "Doha",
+       "Bucharest", "Dakar",    "Tunis",   "Montevideo", "Hanoi"}));
+  return names;
+}
+
+const std::vector<std::string>& ReligionNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"Muslim", "Catholic", "Buddhism", "Christianity", "Hinduism",
+       "Orthodox", "Protestant", "Jewish", "Sikh", "Taoist"}));
+  return names;
+}
+
+const std::vector<std::string>& LanguageNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"Polish", "Spanish", "German", "French", "Chinese", "Thai",
+       "English", "Arabic", "Hindi", "Swahili", "Portuguese", "Lao"}));
+  return names;
+}
+
+const std::vector<std::string>& ProteinWords() {
+  // Zipf-ordered: frequent generic words first; "Kringle" sits in the
+  // tail so the QI1 query ("Kringle Domain") is selective, as in the real
+  // InterPro data.
+  static const auto& words = *new std::vector<std::string>(MakeList(
+      {"kinase",    "receptor",  "binding",  "Domain",    "membrane",
+       "transferase", "helicase", "transport", "signal",  "zinc",
+       "finger",    "histone",   "ribosomal", "polymerase", "oxidase",
+       "reductase", "synthase",  "protease", "ligase",    "homolog",
+       "precursor", "chain",     "subunit",  "factor",    "Kringle"}));
+  return words;
+}
+
+const std::vector<std::string>& OrganismNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"Eukaryota", "Bacteria", "Archaea", "Homo sapiens", "Mus musculus",
+       "Escherichia coli", "Drosophila", "Arabidopsis", "Danio rerio",
+       "Saccharomyces"}));
+  return names;
+}
+
+const std::vector<std::string>& AstroWords() {
+  static const auto& words = *new std::vector<std::string>(MakeList(
+      {"galaxy",   "nebula",    "quasar",   "pulsar",    "photometry",
+       "spectrum", "redshift",  "luminosity", "magnitude", "catalog",
+       "survey",   "telescope", "infrared", "ultraviolet", "radio",
+       "cluster",  "supernova", "binary",   "variable",  "asteroid"}));
+  return words;
+}
+
+const std::vector<std::string>& PlayWords() {
+  static const auto& words = *new std::vector<std::string>(MakeList(
+      {"love",    "death",   "crown",  "battle", "honour", "ghost",
+       "kingdom", "dagger",  "throne", "forest", "storm",  "marriage",
+       "treason", "fortune", "night",  "morrow", "sword",  "poison",
+       "prince",  "daughter"}));
+  return words;
+}
+
+const std::vector<std::string>& SpeakerNames() {
+  static const auto& names = *new std::vector<std::string>(MakeList(
+      {"HAMLET", "OPHELIA", "MACBETH", "BANQUO", "PORTIA", "BRUTUS",
+       "ROSALIND", "ORLANDO", "VIOLA", "MALVOLIO", "PROSPERO", "MIRANDA"}));
+  return names;
+}
+
+const std::vector<std::string>& AuthorPool() {
+  // Fixed identities, not independent first/last draws: real bibliographies
+  // repeat *authors*, and the paper's queries (joint articles by Buneman /
+  // Fan / Weinstein, Example 2) need popular identities to actually
+  // co-author. Entry i < 50 pairs FirstNames[i] with LastNames[i], so the
+  // Zipf head contains "Peter Buneman", "Wenfei Fan", "Scott Weinstein",
+  // "Prithviraj Banerjee", ... The tail adds shuffled combinations.
+  static const auto& pool = *new std::vector<std::string>([] {
+    std::vector<std::string> authors;
+    const auto& first = FirstNames();
+    const auto& last = LastNames();
+    for (size_t i = 0; i < first.size(); ++i) {
+      authors.push_back(first[i] + " " + last[i]);
+    }
+    for (size_t i = 0; i < 250; ++i) {
+      authors.push_back(first[(i * 13 + 5) % first.size()] + " " +
+                        last[(i * 7 + 11) % last.size()]);
+    }
+    return authors;
+  }());
+  return pool;
+}
+
+std::string MakeAuthorName(Rng& rng) {
+  const auto& pool = AuthorPool();
+  return pool[rng.Zipf(static_cast<uint32_t>(pool.size()))];
+}
+
+std::string MakeTitle(Rng& rng, size_t words,
+                      const std::vector<std::string>& vocabulary) {
+  std::string title;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) title.push_back(' ');
+    title += vocabulary[rng.Zipf(static_cast<uint32_t>(vocabulary.size()))];
+  }
+  return title;
+}
+
+}  // namespace gks::data

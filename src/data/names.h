@@ -1,0 +1,43 @@
+#ifndef GKS_DATA_NAMES_H_
+#define GKS_DATA_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/gen_util.h"
+
+namespace gks::data {
+
+/// Shared vocabularies for the synthetic corpora. All lists are fixed so
+/// generated datasets are deterministic given a seed.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& TitleWords();
+const std::vector<std::string>& JournalNames();
+const std::vector<std::string>& ConferenceNames();
+const std::vector<std::string>& CountryNames();
+const std::vector<std::string>& CityNames();
+const std::vector<std::string>& ReligionNames();
+const std::vector<std::string>& LanguageNames();
+const std::vector<std::string>& ProteinWords();
+const std::vector<std::string>& OrganismNames();
+const std::vector<std::string>& AstroWords();
+const std::vector<std::string>& PlayWords();
+const std::vector<std::string>& SpeakerNames();
+
+/// "First Last" with a Zipf-skewed pick so a few authors are prolific —
+/// the property the paper's DBLP queries (joint articles, co-authors)
+/// depend on.
+std::string MakeAuthorName(Rng& rng);
+
+/// The fixed author identities MakeAuthorName samples from (Zipf head
+/// first). Exposed so benches can build queries from known-popular names.
+const std::vector<std::string>& AuthorPool();
+
+/// A plausible title of `words` vocabulary words.
+std::string MakeTitle(Rng& rng, size_t words,
+                      const std::vector<std::string>& vocabulary);
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_NAMES_H_

@@ -1,0 +1,50 @@
+#include "data/nasa_gen.h"
+
+#include "data/gen_util.h"
+#include "data/names.h"
+
+namespace gks::data {
+
+std::string GenerateNasa(const NasaOptions& options) {
+  Rng rng(options.seed);
+  XmlBuilder xml;
+  xml.Open("datasets");
+  for (size_t i = 0; i < options.datasets; ++i) {
+    xml.Open("dataset");
+    xml.Leaf("title", MakeTitle(rng, 3 + rng.Uniform(4), AstroWords()));
+    xml.Leaf("altname", "CAT-" + std::to_string(1000 + rng.Uniform(9000)));
+    xml.Open("tableHead");
+    uint32_t fields = 2 + rng.Uniform(4);
+    for (uint32_t f = 0; f < fields; ++f) {
+      xml.Open("field");
+      xml.Leaf("name", rng.Pick(AstroWords()));
+      xml.Leaf("units", rng.Chance(0.5) ? "mag" : "deg");
+      xml.Close();
+    }
+    xml.Close();  // tableHead
+
+    uint32_t references = 1 + rng.Uniform(3);
+    for (uint32_t r = 0; r < references; ++r) {
+      xml.Open("reference");
+      xml.Open("source");
+      xml.Open("other");
+      xml.Leaf("title", MakeTitle(rng, 4, AstroWords()));
+      uint32_t authors = 1 + rng.Uniform(3);
+      for (uint32_t a = 0; a < authors; ++a) {
+        xml.Open("author");
+        xml.Leaf("initial", std::string(1, static_cast<char>('A' + rng.Uniform(26))));
+        xml.Leaf("lastname", rng.Pick(LastNames()));
+        xml.Close();
+      }
+      xml.Leaf("year", std::to_string(1970 + rng.Uniform(40)));
+      xml.Close();  // other
+      xml.Close();  // source
+      xml.Close();  // reference
+    }
+    xml.Close();  // dataset
+  }
+  xml.Close();
+  return xml.Take();
+}
+
+}  // namespace gks::data

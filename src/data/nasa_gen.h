@@ -1,0 +1,23 @@
+#ifndef GKS_DATA_NASA_GEN_H_
+#define GKS_DATA_NASA_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gks::data {
+
+/// Synthetic NASA astronomy dataset (24 MB original; used for the Figure
+/// 8/9 response-time experiments). Deeper than the bibliographic corpora:
+/// <datasets> -> <dataset> -> <reference> -> <source> -> <other> ->
+/// <author> -> {initial, lastname} puts keywords at depth ~6-7, matching
+/// the paper's reported average keyword depth of 6.7-6.9.
+struct NasaOptions {
+  size_t datasets = 3000;
+  uint32_t seed = 29;
+};
+
+std::string GenerateNasa(const NasaOptions& options = {});
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_NASA_GEN_H_

@@ -1,0 +1,42 @@
+#include "data/plays_gen.h"
+
+#include "data/gen_util.h"
+#include "data/names.h"
+
+namespace gks::data {
+
+std::vector<std::pair<std::string, std::string>> GeneratePlays(
+    const PlaysOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::pair<std::string, std::string>> plays;
+  for (size_t p = 0; p < options.plays; ++p) {
+    XmlBuilder xml;
+    xml.Open("PLAY");
+    std::string title = "The Tragedy of " + rng.Pick(SpeakerNames());
+    xml.Leaf("TITLE", title);
+    for (uint32_t act = 1; act <= options.acts_per_play; ++act) {
+      xml.Open("ACT");
+      xml.Leaf("TITLE", "ACT " + std::to_string(act));
+      for (uint32_t scene = 1; scene <= options.scenes_per_act; ++scene) {
+        xml.Open("SCENE");
+        xml.Leaf("TITLE", "SCENE " + std::to_string(scene));
+        for (uint32_t s = 0; s < options.speeches_per_scene; ++s) {
+          xml.Open("SPEECH");
+          xml.Leaf("SPEAKER", rng.Pick(SpeakerNames()));
+          uint32_t lines = 1 + rng.Uniform(4);
+          for (uint32_t l = 0; l < lines; ++l) {
+            xml.Leaf("LINE", MakeTitle(rng, 5 + rng.Uniform(4), PlayWords()));
+          }
+          xml.Close();  // SPEECH
+        }
+        xml.Close();  // SCENE
+      }
+      xml.Close();  // ACT
+    }
+    xml.Close();  // PLAY
+    plays.emplace_back("play_" + std::to_string(p) + ".xml", xml.Take());
+  }
+  return plays;
+}
+
+}  // namespace gks::data

@@ -1,0 +1,28 @@
+#ifndef GKS_DATA_PLAYS_GEN_H_
+#define GKS_DATA_PLAYS_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gks::data {
+
+/// Synthetic Shakespeare plays. The original corpus is "distributed over
+/// multiple files" (Sec. 7) — this generator returns one document per
+/// play so the multi-document Dewey prefixing path gets exercised.
+/// <PLAY> -> <TITLE>, <ACT> -> <SCENE> -> <SPEECH> -> {SPEAKER, LINE+}.
+struct PlaysOptions {
+  size_t plays = 8;
+  uint32_t seed = 37;
+  uint32_t acts_per_play = 5;
+  uint32_t scenes_per_act = 4;
+  uint32_t speeches_per_scene = 15;
+};
+
+std::vector<std::pair<std::string, std::string>> GeneratePlays(
+    const PlaysOptions& options = {});
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_PLAYS_GEN_H_

@@ -1,0 +1,127 @@
+#include "data/protein_gen.h"
+
+#include "data/gen_util.h"
+#include "data/names.h"
+
+namespace gks::data {
+namespace {
+
+std::string ProteinPhrase(Rng& rng, size_t words) {
+  return MakeTitle(rng, words, ProteinWords());
+}
+
+}  // namespace
+
+std::string GenerateSwissProt(const SwissProtOptions& options) {
+  Rng rng(options.seed);
+  XmlBuilder xml;
+  xml.Open("root");
+  for (size_t i = 0; i < options.entries; ++i) {
+    xml.Open("Entry");
+    xml.Leaf("AC", "P" + std::to_string(10000 + i));
+    xml.Leaf("Name", ProteinPhrase(rng, 2));
+    xml.Leaf("Species", rng.Pick(OrganismNames()));
+
+    xml.Open("Features");
+    uint32_t features = 1 + rng.Uniform(4);
+    for (uint32_t f = 0; f < features; ++f) {
+      xml.Open(rng.Chance(0.5) ? "DOMAIN" : "CHAIN");
+      uint32_t from = 1 + rng.Uniform(400);
+      xml.Leaf("from", std::to_string(from));
+      xml.Leaf("to", std::to_string(from + 10 + rng.Uniform(200)));
+      xml.Leaf("Descr", ProteinPhrase(rng, 3));
+      xml.Close();
+    }
+    xml.Close();  // Features
+
+    uint32_t refs = 1 + rng.Uniform(3);
+    for (uint32_t r = 0; r < refs; ++r) {
+      xml.Open("Ref");
+      uint32_t authors = 1 + rng.Uniform(3);
+      for (uint32_t a = 0; a < authors; ++a) {
+        xml.Leaf("Author", MakeAuthorName(rng));
+      }
+      xml.Leaf("Cite", MakeTitle(rng, 4, TitleWords()));
+      xml.Leaf("Year", std::to_string(1985 + rng.Uniform(30)));
+      xml.Close();
+    }
+    xml.Close();  // Entry
+  }
+  xml.Close();
+  return xml.Take();
+}
+
+std::string GenerateInterPro(const InterProOptions& options) {
+  Rng rng(options.seed);
+  XmlBuilder xml;
+  xml.Open("interprodb");
+  for (size_t i = 0; i < options.entries; ++i) {
+    xml.Open("interpro");
+    xml.Leaf("id", "IPR" + std::to_string(100000 + i));
+    xml.Leaf("name", ProteinPhrase(rng, 2 + rng.Uniform(2)));
+    xml.Leaf("type", rng.Chance(0.6) ? "Domain" : "Family");
+    xml.Leaf("abstract", ProteinPhrase(rng, 8 + rng.Uniform(8)));
+
+    uint32_t pubs = 1 + rng.Uniform(3);
+    for (uint32_t p = 0; p < pubs; ++p) {
+      xml.Open("publication");
+      xml.Leaf("author_list", MakeAuthorName(rng) + ", " + MakeAuthorName(rng));
+      xml.Leaf("journal", rng.Chance(0.3) ? "Science"
+                                          : rng.Pick(JournalNames()));
+      xml.Leaf("year", std::to_string(1995 + rng.Uniform(12)));
+      xml.Close();
+    }
+
+    xml.Open("taxonomy_distribution");
+    uint32_t taxa = 1 + rng.Uniform(4);
+    for (uint32_t t = 0; t < taxa; ++t) {
+      xml.Open("taxon_data");
+      xml.Leaf("name", rng.Pick(OrganismNames()));
+      xml.Leaf("proteins_count", std::to_string(1 + rng.Uniform(500)));
+      xml.Close();
+    }
+    xml.Close();  // taxonomy_distribution
+    xml.Close();  // interpro
+  }
+  xml.Close();
+  return xml.Take();
+}
+
+std::string GenerateProteinSequence(const ProteinSequenceOptions& options) {
+  Rng rng(options.seed);
+  XmlBuilder xml;
+  xml.Open("ProteinDatabase");
+  for (size_t i = 0; i < options.entries; ++i) {
+    xml.Open("ProteinEntry");
+    xml.Open("header");
+    xml.Leaf("uid", "PRF" + std::to_string(200000 + i));
+    xml.Leaf("accession", "A" + std::to_string(50000 + rng.Uniform(40000)));
+    xml.Close();  // header
+    xml.Open("protein");
+    xml.Leaf("name", ProteinPhrase(rng, 3));
+    xml.Leaf("classification", ProteinPhrase(rng, 2));
+    xml.Close();  // protein
+    xml.Leaf("organism", rng.Pick(OrganismNames()));
+
+    uint32_t refs = 1 + rng.Uniform(2);
+    for (uint32_t r = 0; r < refs; ++r) {
+      xml.Open("reference");
+      xml.Open("refinfo");
+      xml.Open("authors");
+      uint32_t authors = 1 + rng.Uniform(4);
+      for (uint32_t a = 0; a < authors; ++a) {
+        xml.Leaf("author", MakeAuthorName(rng));
+      }
+      xml.Close();  // authors
+      xml.Leaf("citation", MakeTitle(rng, 5, TitleWords()));
+      xml.Leaf("year", std::to_string(1980 + rng.Uniform(35)));
+      xml.Close();  // refinfo
+      xml.Close();  // reference
+    }
+    xml.Close();  // ProteinEntry
+  }
+  xml.Close();
+  return xml.Take();
+}
+
+}  // namespace gks::data

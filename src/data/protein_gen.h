@@ -1,0 +1,41 @@
+#ifndef GKS_DATA_PROTEIN_GEN_H_
+#define GKS_DATA_PROTEIN_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gks::data {
+
+/// Synthetic protein repositories covering the three UW-repository
+/// datasets the paper indexes (SwissProt 112 MB, InterPro, Protein
+/// Sequence 683 MB). One generator per schema shape; scale via `entries`.
+
+struct SwissProtOptions {
+  size_t entries = 4000;
+  uint32_t seed = 17;
+};
+/// <root> -> <Entry> -> {AC, Mod, Descr, Species, <Features> -> <DOMAIN /
+/// CHAIN ...> -> {from,to,Descr}, <Ref> -> {Author+, Cite, Year}}.
+std::string GenerateSwissProt(const SwissProtOptions& options = {});
+
+struct InterProOptions {
+  size_t entries = 2500;
+  uint32_t seed = 19;
+};
+/// <interprodb> -> <interpro> -> {name, type, abstract, <publication> ->
+/// {author_list, journal, year}, <taxonomy_distribution> -> <taxon_data>}.
+/// Covers queries QI1 ("Kringle Domain") and QI2 ("Publication 2002
+/// Science").
+std::string GenerateInterPro(const InterProOptions& options = {});
+
+struct ProteinSequenceOptions {
+  size_t entries = 6000;
+  uint32_t seed = 23;
+};
+/// <ProteinDatabase> -> <ProteinEntry> -> {header, protein, organism,
+/// <reference> -> <refinfo> -> {authors/author+, citation, year}}.
+std::string GenerateProteinSequence(const ProteinSequenceOptions& options = {});
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_PROTEIN_GEN_H_

@@ -1,0 +1,51 @@
+#include "data/random_tree_gen.h"
+
+#include "data/gen_util.h"
+
+namespace gks::data {
+namespace {
+
+struct GenState {
+  Rng rng;
+  const RandomTreeOptions& options;
+  size_t emitted = 0;
+
+  GenState(const RandomTreeOptions& opts) : rng(opts.seed), options(opts) {}
+
+  std::string Tag() {
+    return "t" + std::to_string(rng.Uniform(options.tag_vocab));
+  }
+  std::string Keyword() {
+    return "k" + std::to_string(rng.Uniform(options.keyword_vocab));
+  }
+
+  void Emit(XmlBuilder& xml, uint32_t depth) {
+    ++emitted;
+    if (depth >= options.max_depth || emitted > options.target_nodes ||
+        rng.Chance(options.leaf_text_prob)) {
+      // Leaf: one or two keywords as text.
+      std::string text = Keyword();
+      if (rng.Chance(0.3)) text += " " + Keyword();
+      xml.Leaf(Tag(), text);
+      return;
+    }
+    xml.Open(Tag());
+    uint32_t children = 1 + rng.Uniform(options.max_children);
+    for (uint32_t i = 0; i < children; ++i) Emit(xml, depth + 1);
+    xml.Close();
+  }
+};
+
+}  // namespace
+
+std::string GenerateRandomTree(const RandomTreeOptions& options) {
+  GenState state(options);
+  XmlBuilder xml;
+  xml.Open("root");
+  uint32_t top = 1 + state.rng.Uniform(options.max_children);
+  for (uint32_t i = 0; i < top; ++i) state.Emit(xml, 1);
+  xml.Close();
+  return xml.Take();
+}
+
+}  // namespace gks::data

@@ -1,0 +1,28 @@
+#ifndef GKS_DATA_RANDOM_TREE_GEN_H_
+#define GKS_DATA_RANDOM_TREE_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gks::data {
+
+/// Random XML documents for the property-test suites: small vocabularies
+/// of tags (t0..tN) and keywords (k0..kM) so that random queries hit often
+/// and invariants (Lemmas 1-2, oracle cross-checks) are exercised on many
+/// shapes. Fully deterministic per seed.
+struct RandomTreeOptions {
+  uint32_t seed = 1;
+  uint32_t max_depth = 6;
+  uint32_t max_children = 5;
+  uint32_t tag_vocab = 6;
+  uint32_t keyword_vocab = 8;
+  double leaf_text_prob = 0.6;
+  /// Approximate element budget; generation stops expanding past it.
+  size_t target_nodes = 200;
+};
+
+std::string GenerateRandomTree(const RandomTreeOptions& options = {});
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_RANDOM_TREE_GEN_H_

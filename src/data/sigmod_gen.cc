@@ -1,0 +1,50 @@
+#include "data/sigmod_gen.h"
+
+#include <vector>
+
+#include "data/gen_util.h"
+#include "data/names.h"
+
+namespace gks::data {
+
+std::string GenerateSigmodRecord(const SigmodOptions& options) {
+  Rng rng(options.seed);
+  XmlBuilder xml;
+  xml.Open("SigmodRecord");
+  for (size_t i = 0; i < options.issues; ++i) {
+    xml.Open("issue");
+    xml.Leaf("volume", std::to_string(10 + i / 4));
+    xml.Leaf("number", std::to_string(1 + i % 4));
+    xml.Open("articles");
+    uint32_t articles = 1 + rng.Uniform(options.articles_per_issue);
+    for (uint32_t a = 0; a < articles; ++a) {
+      xml.Open("article");
+      xml.Leaf("title", MakeTitle(rng, 3 + rng.Uniform(6), TitleWords()));
+      uint32_t init_page = 1 + rng.Uniform(150);
+      xml.Leaf("initPage", std::to_string(init_page));
+      xml.Leaf("endPage", std::to_string(init_page + 1 + rng.Uniform(30)));
+      xml.Open("authors");
+      uint32_t authors = rng.Chance(options.single_author_fraction)
+                             ? 1
+                             : rng.Range(2, options.max_authors);
+      std::vector<std::string> names;
+      while (names.size() < authors) {
+        std::string name = MakeAuthorName(rng);
+        bool duplicate = false;
+        for (const std::string& existing : names) {
+          if (existing == name) duplicate = true;
+        }
+        if (!duplicate) names.push_back(std::move(name));
+      }
+      for (const std::string& name : names) xml.Leaf("author", name);
+      xml.Close();  // authors
+      xml.Close();  // article
+    }
+    xml.Close();  // articles
+    xml.Close();  // issue
+  }
+  xml.Close();
+  return xml.Take();
+}
+
+}  // namespace gks::data

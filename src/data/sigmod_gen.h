@@ -1,0 +1,26 @@
+#ifndef GKS_DATA_SIGMOD_GEN_H_
+#define GKS_DATA_SIGMOD_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gks::data {
+
+/// Synthetic SIGMOD Record: <SigmodRecord> -> <issue> (volume, number) ->
+/// <articles> -> <article> -> title, init/endPage, <authors> -> <author>.
+/// Mirrors the real repository's shape used in the paper's Table 5
+/// validation (e.g. single-author articles demote <authors> from the
+/// entity-like pattern to a connecting node).
+struct SigmodOptions {
+  size_t issues = 60;
+  uint32_t seed = 11;
+  uint32_t articles_per_issue = 12;
+  uint32_t max_authors = 8;
+  double single_author_fraction = 0.3;
+};
+
+std::string GenerateSigmodRecord(const SigmodOptions& options = {});
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_SIGMOD_GEN_H_

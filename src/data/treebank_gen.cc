@@ -1,0 +1,66 @@
+#include "data/treebank_gen.h"
+
+#include <vector>
+
+#include "data/gen_util.h"
+#include "data/names.h"
+
+namespace gks::data {
+namespace {
+
+const std::vector<std::string>& Nonterminals() {
+  static const auto& tags = *new std::vector<std::string>(
+      {"NP", "VP", "PP", "ADJP", "ADVP", "SBAR", "WHNP", "PRN"});
+  return tags;
+}
+
+const std::vector<std::string>& Words() {
+  static const auto& words = *new std::vector<std::string>(
+      {"market", "shares", "company", "analyst", "profit", "trading",
+       "investors", "quarterly", "report", "growth", "decline", "index",
+       "billion", "announced", "yesterday", "futures", "options", "bond"});
+  return words;
+}
+
+void EmitSubtree(XmlBuilder& xml, Rng& rng, uint32_t depth_left) {
+  if (depth_left == 0 || rng.Chance(0.35)) {
+    xml.Leaf(rng.Chance(0.5) ? "NN" : "VB", rng.Pick(Words()));
+    return;
+  }
+  xml.Open(rng.Pick(Nonterminals()));
+  uint32_t children = 1 + rng.Uniform(3);
+  for (uint32_t i = 0; i < children; ++i) {
+    EmitSubtree(xml, rng, depth_left - 1);
+  }
+  xml.Close();
+}
+
+// A maximal-depth chain so the corpus actually reaches max_depth.
+void EmitDeepChain(XmlBuilder& xml, Rng& rng, uint32_t depth) {
+  for (uint32_t i = 0; i < depth; ++i) xml.Open(rng.Pick(Nonterminals()));
+  xml.Leaf("NN", rng.Pick(Words()));
+  for (uint32_t i = 0; i < depth; ++i) xml.Close();
+}
+
+}  // namespace
+
+std::string GenerateTreebank(const TreebankOptions& options) {
+  Rng rng(options.seed);
+  XmlBuilder xml;
+  xml.Open("FILE");
+  for (size_t i = 0; i < options.sentences; ++i) {
+    xml.Open("S");
+    if (i % 200 == 0) {
+      EmitDeepChain(xml, rng, options.max_depth - 3);
+    } else {
+      uint32_t depth = 2 + rng.Uniform(8);
+      uint32_t phrases = 1 + rng.Uniform(3);
+      for (uint32_t p = 0; p < phrases; ++p) EmitSubtree(xml, rng, depth);
+    }
+    xml.Close();
+  }
+  xml.Close();
+  return xml.Take();
+}
+
+}  // namespace gks::data

@@ -1,0 +1,23 @@
+#ifndef GKS_DATA_TREEBANK_GEN_H_
+#define GKS_DATA_TREEBANK_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gks::data {
+
+/// Synthetic TreeBank: deeply recursive parse trees (the original's depth
+/// is 36 — by far the deepest corpus in Table 4). Nonterminal tags come
+/// from a small grammar alphabet (S, NP, VP, PP, ...) and recursion depth
+/// is driven to `max_depth` on a random subset of sentences.
+struct TreebankOptions {
+  size_t sentences = 4000;
+  uint32_t seed = 31;
+  uint32_t max_depth = 36;
+};
+
+std::string GenerateTreebank(const TreebankOptions& options = {});
+
+}  // namespace gks::data
+
+#endif  // GKS_DATA_TREEBANK_GEN_H_

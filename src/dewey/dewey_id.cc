@@ -1,0 +1,116 @@
+#include "dewey/dewey_id.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/varint.h"
+
+namespace gks {
+
+Result<DeweyId> DeweyId::Parse(std::string_view text) {
+  if (!text.empty() && (text.front() == 'd' || text.front() == 'D')) {
+    text.remove_prefix(1);
+  }
+  if (text.empty()) return Status::InvalidArgument("empty Dewey id");
+  std::vector<uint32_t> components;
+  uint64_t current = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<uint64_t>(c - '0');
+      if (current > UINT32_MAX) {
+        return Status::InvalidArgument("Dewey component overflow");
+      }
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit) {
+        return Status::InvalidArgument("empty Dewey component");
+      }
+      components.push_back(static_cast<uint32_t>(current));
+      current = 0;
+      have_digit = false;
+    } else {
+      return Status::InvalidArgument(std::string("bad Dewey character: ") + c);
+    }
+  }
+  if (!have_digit) return Status::InvalidArgument("trailing dot in Dewey id");
+  components.push_back(static_cast<uint32_t>(current));
+  return DeweyId(std::move(components));
+}
+
+DeweyId DeweyId::Child(uint32_t ordinal) const {
+  std::vector<uint32_t> components = components_;
+  components.push_back(ordinal);
+  return DeweyId(std::move(components));
+}
+
+DeweyId DeweyId::Parent() const {
+  if (components_.empty()) return DeweyId();
+  std::vector<uint32_t> components(components_.begin(), components_.end() - 1);
+  return DeweyId(std::move(components));
+}
+
+bool DeweyId::IsAncestorOf(const DeweyId& other) const {
+  if (components_.size() >= other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+bool DeweyId::IsSelfOrAncestorOf(const DeweyId& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+DeweyId DeweyId::CommonPrefix(const DeweyId& other) const {
+  size_t limit = std::min(components_.size(), other.components_.size());
+  size_t i = 0;
+  while (i < limit && components_[i] == other.components_[i]) ++i;
+  std::vector<uint32_t> components(components_.begin(),
+                                   components_.begin() + i);
+  return DeweyId(std::move(components));
+}
+
+int DeweyId::Compare(const DeweyId& other) const {
+  size_t limit = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+std::string DeweyId::ToString() const {
+  if (components_.empty()) return "(empty)";
+  std::string out = "d";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+void DeweyId::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(components_.size()));
+  for (uint32_t c : components_) PutVarint32(dst, c);
+}
+
+Status DeweyId::DecodeFrom(std::string_view* input, DeweyId* out) {
+  uint32_t count = 0;
+  GKS_RETURN_IF_ERROR(GetVarint32(input, &count));
+  if (count > 1u << 20) return Status::Corruption("implausible Dewey length");
+  std::vector<uint32_t> components(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GKS_RETURN_IF_ERROR(GetVarint32(input, &components[i]));
+  }
+  *out = DeweyId(std::move(components));
+  return Status::OK();
+}
+
+std::ostream& operator<<(std::ostream& os, const DeweyId& id) {
+  return os << id.ToString();
+}
+
+}  // namespace gks

@@ -1,0 +1,100 @@
+#ifndef GKS_DEWEY_DEWEY_ID_H_
+#define GKS_DEWEY_DEWEY_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace gks {
+
+/// A Dewey id labels an XML node with its path of child ordinals from the
+/// document root (Tatarinov et al., SIGMOD 2002). Per the paper (Sec. 2.4)
+/// the *first* component is the document id, so search spans multiple files
+/// seamlessly: a node printed as "d3.0.1.2" is document 3, path 0.1.2.
+///
+/// Lexicographic comparison of component vectors equals pre-order document
+/// order, with an ancestor sorting immediately before its descendants.
+class DeweyId {
+ public:
+  DeweyId() = default;
+  explicit DeweyId(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  /// Root id of document `doc_id` (a single component).
+  static DeweyId DocumentRoot(uint32_t doc_id) { return DeweyId({doc_id}); }
+
+  /// Parses "3.0.1.2" (plain dotted numbers; a leading "d" is accepted).
+  static Result<DeweyId> Parse(std::string_view text);
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  bool empty() const { return components_.empty(); }
+
+  /// Number of edges below the document root: the document root has
+  /// depth 0, its children depth 1, etc.
+  size_t depth() const { return components_.empty() ? 0 : components_.size() - 1; }
+
+  uint32_t doc_id() const { return components_.empty() ? 0 : components_[0]; }
+
+  /// Child with ordinal `ordinal` under this node.
+  DeweyId Child(uint32_t ordinal) const;
+
+  /// Parent id; the document root's parent is the empty id.
+  DeweyId Parent() const;
+
+  /// True if `this` is a strict ancestor of `other` (v <_a u in the paper).
+  bool IsAncestorOf(const DeweyId& other) const;
+
+  /// True if `this` is `other` or a strict ancestor of it (v <=_a u).
+  bool IsSelfOrAncestorOf(const DeweyId& other) const;
+
+  /// Longest common prefix with `other` — the lowest common ancestor of the
+  /// two nodes when both belong to the same document (Lemma 6 exploits that
+  /// for a sorted block, LCP(first, last) is the block's LCP).
+  DeweyId CommonPrefix(const DeweyId& other) const;
+
+  /// Document-order comparison: negative / zero / positive like strcmp.
+  /// An ancestor compares less than any of its descendants.
+  int Compare(const DeweyId& other) const;
+
+  /// "d3.0.1.2" — document id prefixed with 'd' for readability.
+  std::string ToString() const;
+
+  /// Appends a varint encoding (component count, then components) to `dst`;
+  /// the inverse returns Corruption on malformed input.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(std::string_view* input, DeweyId* out);
+
+  bool operator==(const DeweyId& other) const {
+    return components_ == other.components_;
+  }
+  bool operator!=(const DeweyId& other) const { return !(*this == other); }
+  bool operator<(const DeweyId& other) const { return Compare(other) < 0; }
+  bool operator>(const DeweyId& other) const { return Compare(other) > 0; }
+  bool operator<=(const DeweyId& other) const { return Compare(other) <= 0; }
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+/// Hash functor so DeweyId can key unordered_map (entityHash/elementHash).
+struct DeweyIdHash {
+  size_t operator()(const DeweyId& id) const {
+    // FNV-1a over the component words.
+    uint64_t h = 1469598103934665603ull;
+    for (uint32_t c : id.components()) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const DeweyId& id);
+
+}  // namespace gks
+
+#endif  // GKS_DEWEY_DEWEY_ID_H_

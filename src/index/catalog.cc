@@ -1,0 +1,51 @@
+#include "index/catalog.h"
+
+#include <algorithm>
+
+#include "common/varint.h"
+
+namespace gks {
+
+uint32_t Catalog::AddDocument(std::string name) {
+  docs_.push_back(DocumentInfo{std::move(name), 0, 0, 0});
+  return static_cast<uint32_t>(docs_.size() - 1);
+}
+
+uint32_t Catalog::MaxDepth() const {
+  uint32_t depth = 0;
+  for (const DocumentInfo& doc : docs_) depth = std::max(depth, doc.max_depth);
+  return depth;
+}
+
+uint64_t Catalog::TotalElements() const {
+  uint64_t total = 0;
+  for (const DocumentInfo& doc : docs_) total += doc.element_count;
+  return total;
+}
+
+void Catalog::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, docs_.size());
+  for (const DocumentInfo& doc : docs_) {
+    PutLengthPrefixed(dst, doc.name);
+    PutVarint64(dst, doc.element_count);
+    PutVarint64(dst, doc.text_bytes);
+    PutVarint32(dst, doc.max_depth);
+  }
+}
+
+Status Catalog::DecodeFrom(std::string_view* input, Catalog* out) {
+  *out = Catalog();
+  uint64_t count = 0;
+  GKS_RETURN_IF_ERROR(GetVarint64(input, &count));
+  for (uint64_t i = 0; i < count; ++i) {
+    DocumentInfo doc;
+    GKS_RETURN_IF_ERROR(GetLengthPrefixed(input, &doc.name));
+    GKS_RETURN_IF_ERROR(GetVarint64(input, &doc.element_count));
+    GKS_RETURN_IF_ERROR(GetVarint64(input, &doc.text_bytes));
+    GKS_RETURN_IF_ERROR(GetVarint32(input, &doc.max_depth));
+    out->docs_.push_back(std::move(doc));
+  }
+  return Status::OK();
+}
+
+}  // namespace gks

@@ -1,0 +1,44 @@
+#ifndef GKS_INDEX_CATALOG_H_
+#define GKS_INDEX_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gks {
+
+/// Per-document bookkeeping: GKS search spans multiple XML files by
+/// prefixing every Dewey id with the document id (Sec. 2.4); the catalog
+/// maps those ids back to the source document.
+class Catalog {
+ public:
+  struct DocumentInfo {
+    std::string name;         // file name or caller-provided label
+    uint64_t element_count = 0;
+    uint64_t text_bytes = 0;
+    uint32_t max_depth = 0;   // edges from document root to deepest node
+  };
+
+  /// Registers a document and returns its dense id.
+  uint32_t AddDocument(std::string name);
+
+  DocumentInfo* mutable_document(uint32_t doc_id) { return &docs_[doc_id]; }
+  const DocumentInfo& document(uint32_t doc_id) const { return docs_[doc_id]; }
+  size_t document_count() const { return docs_.size(); }
+
+  /// Maximum depth across all documents (the paper's "XML Depth" column).
+  uint32_t MaxDepth() const;
+  uint64_t TotalElements() const;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(std::string_view* input, Catalog* out);
+
+ private:
+  std::vector<DocumentInfo> docs_;
+};
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_CATALOG_H_

@@ -1,0 +1,187 @@
+#include "index/categorizer.h"
+
+#include <cassert>
+#include <utility>
+
+#include "index/node_info_table.h"
+
+namespace gks {
+
+std::string NodeFlagsToString(uint8_t flags) {
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (flags & kFlagAttribute) append("AN");
+  if (flags & kFlagRepeating) append("RN");
+  if (flags & kFlagEntity) append("EN");
+  if (flags & kFlagConnecting) append("CN");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+StreamingCategorizer::StreamingCategorizer(NodeInfoTable* tags,
+                                           Callback callback)
+    : tags_(tags), callback_(std::move(callback)) {}
+
+void StreamingCategorizer::StartDocument(uint32_t doc_id) {
+  assert(frames_.empty() && "previous document not finished");
+  path_.clear();
+  path_.push_back(doc_id);
+  frames_.emplace_back();  // sentinel frame owning the root's record
+}
+
+void StreamingCategorizer::OpenElement(std::string_view tag,
+                                       uint32_t ordinal) {
+  path_.push_back(ordinal);
+  Frame frame;
+  frame.tag_id = tags_->InternTag(tag);
+  frames_.push_back(std::move(frame));
+}
+
+void StreamingCategorizer::AddText(std::string_view text) {
+  Frame& frame = frames_.back();
+  ++frame.text_children;
+  if (!frame.direct_text.empty()) frame.direct_text.push_back(' ');
+  frame.direct_text.append(text);
+}
+
+StreamingCategorizer::ChildRecord StreamingCategorizer::SummarizeAndEmitChildren(
+    uint32_t ordinal) {
+  Frame& frame = frames_.back();
+
+  auto tag_count = [&frame](uint32_t tag_id) -> uint32_t {
+    for (const auto& [tag, count] : frame.tag_counts) {
+      if (tag == tag_id) return count;
+    }
+    return 0;
+  };
+
+  bool level_group = false;
+  for (const auto& [tag, count] : frame.tag_counts) {
+    (void)tag;
+    if (count >= 2) {
+      level_group = true;
+      break;
+    }
+  }
+
+  // Classify the children (sibling context is now complete) and collect the
+  // per-branch free-attribute / repeating-group bits.
+  size_t free_branches = 0;
+  size_t group_branches = 0;
+  size_t last_free_index = 0;
+  size_t last_group_index = 0;
+  size_t index = 0;
+  for (ChildRecord& child : frame.children) {
+    bool repeating = tag_count(child.tag_id) >= 2;
+    bool attribute = child.is_leaf_text && !repeating;
+    uint8_t flags = 0;
+    if (attribute) flags |= kFlagAttribute;
+    if (repeating) flags |= kFlagRepeating;
+    if (child.is_entity) flags |= kFlagEntity;
+    if (flags == 0) flags = kFlagConnecting;
+
+    bool branch_free =
+        attribute || (!repeating && child.subtree_has_free_attr);
+    bool branch_group = child.subtree_has_rep_group;
+    if (branch_free) {
+      ++free_branches;
+      last_free_index = index;
+    }
+    if (branch_group) {
+      ++group_branches;
+      last_group_index = index;
+    }
+
+    path_.push_back(child.ordinal);
+    NodeFacts facts;
+    facts.id = CurrentId();
+    facts.tag_id = child.tag_id;
+    facts.flags = flags;
+    facts.child_count = child.child_count;
+    facts.is_leaf_text = child.is_leaf_text;
+    facts.direct_text = child.is_leaf_text ? &child.direct_text : nullptr;
+    callback_(facts);
+    path_.pop_back();
+    ++index;
+  }
+
+  // Entity test (Def. 2.1.3): this node is the LCA of a repeating group and
+  // at least one free attribute node. Two ways for the LCA to land here:
+  //  (a) a repeated direct-child group (its LCA is this node) plus any free
+  //      attribute anywhere below, or
+  //  (b) a free attribute in one branch and a repeating group in a
+  //      *different* branch.
+  bool is_entity = false;
+  if (level_group && free_branches > 0) {
+    is_entity = true;
+  } else if (free_branches > 0 && group_branches > 0) {
+    bool only_one_shared_branch = free_branches == 1 && group_branches == 1 &&
+                                  last_free_index == last_group_index;
+    is_entity = !only_one_shared_branch;
+  }
+
+  ChildRecord record;
+  record.ordinal = ordinal;
+  record.tag_id = frame.tag_id;
+  record.child_count =
+      static_cast<uint32_t>(frame.children.size()) + frame.text_children;
+  record.is_leaf_text = frame.children.empty() && frame.text_children > 0;
+  record.is_entity = is_entity;
+  record.subtree_has_free_attr = free_branches > 0;
+  record.subtree_has_rep_group = level_group || group_branches > 0;
+  if (record.is_leaf_text) record.direct_text = std::move(frame.direct_text);
+  return record;
+}
+
+void StreamingCategorizer::CloseElement() {
+  assert(frames_.size() >= 2 && "CloseElement without matching open");
+  uint32_t ordinal = path_.back();
+  ChildRecord record = SummarizeAndEmitChildren(ordinal);
+  frames_.pop_back();
+  path_.pop_back();
+
+  Frame& parent = frames_.back();
+  bool counted = false;
+  for (auto& [tag, count] : parent.tag_counts) {
+    if (tag == record.tag_id) {
+      ++count;
+      counted = true;
+      break;
+    }
+  }
+  if (!counted) parent.tag_counts.emplace_back(record.tag_id, 1u);
+  parent.children.push_back(std::move(record));
+}
+
+void StreamingCategorizer::FinishDocument() {
+  assert(frames_.size() == 1 && "unbalanced open/close before finish");
+  Frame& sentinel = frames_.back();
+  assert(sentinel.children.size() == 1 && "document must have one root");
+
+  // The root has no siblings, so attribute/repeating can be decided
+  // directly; entity comes from its close-time summary.
+  ChildRecord& root = sentinel.children.front();
+  uint8_t flags = 0;
+  if (root.is_leaf_text) flags |= kFlagAttribute;
+  if (root.is_entity) flags |= kFlagEntity;
+  if (flags == 0) flags = kFlagConnecting;
+
+  path_.push_back(root.ordinal);
+  NodeFacts facts;
+  facts.id = CurrentId();
+  facts.tag_id = root.tag_id;
+  facts.flags = flags;
+  facts.child_count = root.child_count;
+  facts.is_leaf_text = root.is_leaf_text;
+  facts.direct_text = root.is_leaf_text ? &root.direct_text : nullptr;
+  callback_(facts);
+  path_.pop_back();
+
+  frames_.clear();
+  path_.clear();
+}
+
+}  // namespace gks

@@ -1,0 +1,100 @@
+#ifndef GKS_INDEX_CATEGORIZER_H_
+#define GKS_INDEX_CATEGORIZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/node_kind.h"
+#include "index/posting_list.h"
+
+namespace gks {
+
+class NodeInfoTable;
+
+/// Streaming implementation of the paper's node categorization model
+/// (Sec. 2.2). XML nodes arrive pre-order; each node's category is known
+/// once enough of its context has been seen:
+///
+///  * attribute / repeating need the sibling tag counts, available when the
+///    *parent* closes;
+///  * entity needs the subtree shape (a repeating group plus a "free"
+///    attribute node — one not hidden inside a repeating node — whose LCA
+///    is the node itself), available when the node *itself* closes and is
+///    propagated upward as two bits per branch.
+///
+/// The categorizer therefore emits one `NodeFacts` callback per element,
+/// at the close of the element's parent (or at FinishDocument for the
+/// root), all within a single pass over the data.
+class StreamingCategorizer {
+ public:
+  struct NodeFacts {
+    DeweySpan id;             // valid only during the callback
+    uint32_t tag_id = 0;
+    uint8_t flags = kFlagNone;
+    uint32_t child_count = 0;     // direct children: elements + text segments
+    bool is_leaf_text = false;    // element whose only children are text
+    const std::string* direct_text = nullptr;  // leaf-text value, else null
+  };
+  using Callback = std::function<void(const NodeFacts&)>;
+
+  /// `tags` provides tag interning (shared with the index); `callback`
+  /// receives every categorized element. Both must outlive the categorizer.
+  StreamingCategorizer(NodeInfoTable* tags, Callback callback);
+
+  StreamingCategorizer(const StreamingCategorizer&) = delete;
+  StreamingCategorizer& operator=(const StreamingCategorizer&) = delete;
+
+  /// Opens an element that is the next child (ordinal `ordinal`) of the
+  /// current element; for a document root, `ordinal` is pushed directly
+  /// onto the document id component.
+  void StartDocument(uint32_t doc_id);
+  void OpenElement(std::string_view tag, uint32_t ordinal);
+  /// Records one direct text segment (ordinal consumed by the caller).
+  void AddText(std::string_view text);
+  void CloseElement();
+  /// Closes the document and emits the root's facts.
+  void FinishDocument();
+
+  /// Dewey id of the innermost open element.
+  DeweySpan CurrentId() const {
+    return {path_.data(), static_cast<uint32_t>(path_.size())};
+  }
+
+ private:
+  struct ChildRecord {
+    uint32_t ordinal = 0;
+    uint32_t tag_id = 0;
+    uint32_t child_count = 0;
+    bool is_leaf_text = false;
+    bool is_entity = false;
+    bool subtree_has_free_attr = false;
+    bool subtree_has_rep_group = false;
+    std::string direct_text;  // kept only for leaf-text nodes
+  };
+
+  struct Frame {
+    uint32_t tag_id = 0;
+    uint32_t text_children = 0;
+    std::string direct_text;
+    // (tag_id, count) for the element children; small linear map — the
+    // number of *distinct* child tags per element is tiny in practice.
+    std::vector<std::pair<uint32_t, uint32_t>> tag_counts;
+    std::vector<ChildRecord> children;
+  };
+
+  // Computes the close-time summary of the innermost frame and emits the
+  // NodeFacts for each of its children.
+  ChildRecord SummarizeAndEmitChildren(uint32_t ordinal);
+
+  NodeInfoTable* tags_;
+  Callback callback_;
+  std::vector<uint32_t> path_;  // current Dewey id (doc id first)
+  std::vector<Frame> frames_;
+};
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_CATEGORIZER_H_

@@ -1,0 +1,76 @@
+#include "index/index_updater.h"
+
+#include <vector>
+
+#include "index/index_builder.h"
+#include "xml/sax_parser.h"
+
+namespace gks {
+
+Status AppendDocument(XmlIndex* index, std::string_view xml,
+                      std::string name) {
+  const uint32_t base_doc_id =
+      static_cast<uint32_t>(index->catalog.document_count());
+
+  // Build a standalone delta index whose Dewey ids already carry the final
+  // (offset) document id.
+  IndexBuilderOptions options;
+  options.first_doc_id = base_doc_id;
+  IndexBuilder builder(options);
+  GKS_RETURN_IF_ERROR(builder.AddDocument(xml, std::move(name)));
+  Result<XmlIndex> delta_result = std::move(builder).Finalize();
+  GKS_RETURN_IF_ERROR(delta_result.status());
+  XmlIndex& delta = *delta_result;
+
+  // Catalog: the delta holds exactly one document.
+  uint32_t new_id =
+      index->catalog.AddDocument(delta.catalog.document(0).name);
+  *index->catalog.mutable_document(new_id) = delta.catalog.document(0);
+  (void)new_id;
+
+  // Dictionaries: remap the delta's dense tag/value ids into the target's.
+  std::vector<uint32_t> tag_map(delta.nodes.tag_count());
+  for (uint32_t tag = 0; tag < delta.nodes.tag_count(); ++tag) {
+    tag_map[tag] = index->nodes.InternTag(delta.nodes.TagName(tag));
+  }
+  std::vector<uint32_t> value_map(delta.nodes.value_count());
+  for (uint32_t value = 0; value < delta.nodes.value_count(); ++value) {
+    value_map[value] = index->nodes.InternValue(delta.nodes.Value(value));
+  }
+
+  // Node table: every delta node, with remapped dictionary ids.
+  delta.nodes.ForEach([&](DeweySpan id, const NodeInfo& info) {
+    NodeInfo remapped = info;
+    remapped.tag_id = tag_map[info.tag_id];
+    if (info.value_id != kNoValue) {
+      remapped.value_id = value_map[info.value_id];
+    }
+    index->nodes.Put(id, remapped);
+  });
+
+  // Attribute directory: delta ids all carry the new (largest) document
+  // id, so plain appends keep the directory sorted.
+  for (size_t i = 0; i < delta.attributes.size(); ++i) {
+    index->attributes.Add(delta.attributes.IdAt(i).ToDeweyId(),
+                          tag_map[delta.attributes.TagAt(i)],
+                          value_map[delta.attributes.ValueAt(i)]);
+  }
+
+  // Posting lists: same argument — each delta list extends the existing
+  // one by concatenation.
+  Status merge_status = Status::OK();
+  delta.inverted.ForEach([&](const std::string& term,
+                             const PostingList& list) {
+    if (!merge_status.ok()) return;
+    merge_status = index->inverted.MutableList(term)->ExtendWith(list);
+  });
+  return merge_status;
+}
+
+Status AppendFile(XmlIndex* index, const std::string& path) {
+  std::string contents;
+  GKS_RETURN_IF_ERROR(xml::ReadFileToString(path, &contents));
+  return AppendDocument(index, contents, path);
+}
+
+}  // namespace gks

@@ -1,0 +1,31 @@
+#ifndef GKS_INDEX_INDEX_UPDATER_H_
+#define GKS_INDEX_INDEX_UPDATER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// Incremental maintenance: appends new documents to an already finalized
+/// index without rebuilding it. The paper treats index preparation as a
+/// one-time activity (Sec. 7.1.1); real deployments receive new documents,
+/// and GKS's Dewey scheme makes appends cheap — every id of a new document
+/// is prefixed with a fresh, larger document id, so it sorts after all
+/// existing postings and each posting list extends by concatenation.
+///
+/// Tag and value dictionaries of the delta are remapped into the target
+/// index's interning tables; categorization of the *new* document is
+/// computed exactly as in a fresh build (existing documents are untouched
+/// — categories are per-instance, so they cannot change).
+Status AppendDocument(XmlIndex* index, std::string_view xml,
+                      std::string name);
+
+/// Reads and appends the file at `path`.
+Status AppendFile(XmlIndex* index, const std::string& path);
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_INDEX_UPDATER_H_

@@ -1,0 +1,121 @@
+#include "index/inverted_index.h"
+
+#include "common/varint.h"
+
+namespace gks {
+
+void InvertedIndex::Add(std::string_view term, const DeweyId& id) {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) {
+    it = lists_.emplace(std::string(term), PostingList()).first;
+  }
+  it->second.Add(id);
+}
+
+void InvertedIndex::Finalize() {
+  for (auto& [term, list] : lists_) {
+    (void)term;
+    list.Finalize();
+  }
+}
+
+const PostingList* InvertedIndex::Find(std::string_view term) const {
+  auto it = lists_.find(term);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+PostingList* InvertedIndex::MutableList(std::string_view term) {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) {
+    it = lists_.emplace(std::string(term), PostingList()).first;
+  }
+  return &it->second;
+}
+
+uint64_t InvertedIndex::posting_count() const {
+  uint64_t total = 0;
+  for (const auto& [term, list] : lists_) {
+    (void)term;
+    total += list.size();
+  }
+  return total;
+}
+
+size_t InvertedIndex::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [term, list] : lists_) {
+    bytes += term.capacity() + list.MemoryUsage() + sizeof(list) +
+             sizeof(void*) * 2;
+  }
+  return bytes;
+}
+
+void InvertedIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, lists_.size());
+  for (const auto& [term, list] : lists_) {
+    PutLengthPrefixed(dst, term);
+    list.EncodeTo(dst);
+  }
+}
+
+Status InvertedIndex::DecodeFrom(std::string_view* input, InvertedIndex* out) {
+  *out = InvertedIndex();
+  uint64_t count = 0;
+  GKS_RETURN_IF_ERROR(GetVarint64(input, &count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string term;
+    GKS_RETURN_IF_ERROR(GetLengthPrefixed(input, &term));
+    PostingList list;
+    GKS_RETURN_IF_ERROR(PostingList::DecodeFrom(input, &list));
+    out->lists_.emplace(std::move(term), std::move(list));
+  }
+  return Status::OK();
+}
+
+void AttrDirectory::Add(const DeweyId& id, uint32_t tag_id,
+                        uint32_t value_id) {
+  ids_.Add(id);
+  tag_ids_.push_back(tag_id);
+  value_ids_.push_back(value_id);
+}
+
+void AttrDirectory::Finalize() {
+  std::vector<uint32_t> perm = ids_.SortPermutation();
+  std::vector<uint32_t> tags(perm.size());
+  std::vector<uint32_t> values(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    tags[i] = tag_ids_[perm[i]];
+    values[i] = value_ids_[perm[i]];
+  }
+  ids_.ApplyPermutation(perm);
+  tag_ids_ = std::move(tags);
+  value_ids_ = std::move(values);
+}
+
+void AttrDirectory::EncodeTo(std::string* dst) const {
+  ids_.EncodeTo(dst);
+  PutVarint64(dst, tag_ids_.size());
+  for (uint32_t tag : tag_ids_) PutVarint32(dst, tag);
+  for (uint32_t value : value_ids_) PutVarint32(dst, value);
+}
+
+Status AttrDirectory::DecodeFrom(std::string_view* input, AttrDirectory* out) {
+  *out = AttrDirectory();
+  GKS_RETURN_IF_ERROR(PackedIds::DecodeFrom(input, &out->ids_));
+  uint64_t count = 0;
+  GKS_RETURN_IF_ERROR(GetVarint64(input, &count));
+  if (count != out->ids_.size()) {
+    return Status::Corruption("attr directory size mismatch");
+  }
+  out->tag_ids_.resize(count);
+  out->value_ids_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    GKS_RETURN_IF_ERROR(GetVarint32(input, &out->tag_ids_[i]));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    GKS_RETURN_IF_ERROR(GetVarint32(input, &out->value_ids_[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace gks

@@ -1,0 +1,44 @@
+#ifndef GKS_INDEX_NODE_KIND_H_
+#define GKS_INDEX_NODE_KIND_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gks {
+
+/// Node categories from the paper's categorization model (Sec. 2.2).
+/// Stored as flags because a node can be an entity node *and* a repeating
+/// node at the same time (e.g. <Course> in Figure 2(a)).
+enum NodeFlags : uint8_t {
+  kFlagNone = 0,
+  kFlagAttribute = 1 << 0,   // AN: single text child, no same-tag sibling
+  kFlagRepeating = 1 << 1,   // RN: has a same-tag sibling
+  kFlagEntity = 1 << 2,      // EN: LCA of repeating group + free attribute(s)
+  kFlagConnecting = 1 << 3,  // CN: none of the above
+};
+
+/// Human-readable category string ("EN+RN" etc.) for debug output.
+std::string NodeFlagsToString(uint8_t flags);
+
+/// Sentinel for "no attribute value stored".
+inline constexpr uint32_t kNoValue = 0xffffffffu;
+
+/// Per-node metadata kept by the index: the category flags, the number of
+/// direct children (elements + text segments — used by the potential-flow
+/// ranking), the interned tag name, and (attribute nodes only) the interned
+/// text value used by DI discovery.
+struct NodeInfo {
+  uint8_t flags = kFlagNone;
+  uint32_t child_count = 0;
+  uint32_t tag_id = 0;
+  uint32_t value_id = kNoValue;
+
+  bool is_attribute() const { return (flags & kFlagAttribute) != 0; }
+  bool is_repeating() const { return (flags & kFlagRepeating) != 0; }
+  bool is_entity() const { return (flags & kFlagEntity) != 0; }
+  bool is_connecting() const { return (flags & kFlagConnecting) != 0; }
+};
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_NODE_KIND_H_

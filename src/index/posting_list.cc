@@ -1,0 +1,166 @@
+#include "index/posting_list.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/varint.h"
+
+namespace gks {
+
+int DeweySpan::Compare(const DeweySpan& other) const {
+  uint32_t limit = std::min(size, other.size);
+  for (uint32_t i = 0; i < limit; ++i) {
+    if (data[i] != other.data[i]) return data[i] < other.data[i] ? -1 : 1;
+  }
+  if (size == other.size) return 0;
+  return size < other.size ? -1 : 1;
+}
+
+bool DeweySpan::IsPrefixOf(const DeweySpan& other) const {
+  if (size > other.size) return false;
+  for (uint32_t i = 0; i < size; ++i) {
+    if (data[i] != other.data[i]) return false;
+  }
+  return true;
+}
+
+int DeweySpan::CompareToSubtree(const DeweySpan& prefix) const {
+  uint32_t limit = std::min(size, prefix.size);
+  for (uint32_t i = 0; i < limit; ++i) {
+    if (data[i] != prefix.data[i]) return data[i] < prefix.data[i] ? -1 : 1;
+  }
+  if (size >= prefix.size) return 0;  // prefix is self-or-ancestor: inside
+  return -1;  // strict ancestor of the subtree root sorts before the subtree
+}
+
+void PackedIds::Add(DeweySpan span) {
+  components_.insert(components_.end(), span.data, span.data + span.size);
+  offsets_.push_back(static_cast<uint32_t>(components_.size()));
+}
+
+std::vector<uint32_t> PackedIds::SortPermutation() const {
+  std::vector<uint32_t> perm(size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [this](uint32_t a, uint32_t b) {
+    return At(a).Compare(At(b)) < 0;
+  });
+  return perm;
+}
+
+void PackedIds::ApplyPermutation(const std::vector<uint32_t>& perm) {
+  PackedIds sorted;
+  sorted.components_.reserve(components_.size());
+  sorted.offsets_.reserve(offsets_.size());
+  for (uint32_t i : perm) sorted.Add(At(i));
+  *this = std::move(sorted);
+}
+
+size_t PackedIds::SubtreeBegin(DeweySpan prefix) const {
+  size_t lo = 0;
+  size_t hi = size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (At(mid).CompareToSubtree(prefix) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t PackedIds::SubtreeEnd(DeweySpan prefix) const {
+  size_t lo = 0;
+  size_t hi = size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (At(mid).CompareToSubtree(prefix) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void PackedIds::EncodeTo(std::string* dst) const {
+  // Front coding: consecutive ids in a sorted list share long prefixes
+  // (same document, same entry subtree), so each id stores only the length
+  // of the prefix shared with its predecessor plus the fresh suffix. This
+  // is what keeps the serialized index smaller than the source XML.
+  PutVarint64(dst, size());
+  DeweySpan previous{nullptr, 0};
+  for (size_t i = 0; i < size(); ++i) {
+    DeweySpan span = At(i);
+    uint32_t shared = 0;
+    uint32_t limit = std::min(span.size, previous.size);
+    while (shared < limit && span.data[shared] == previous.data[shared]) {
+      ++shared;
+    }
+    PutVarint32(dst, shared);
+    PutVarint32(dst, span.size - shared);
+    for (uint32_t j = shared; j < span.size; ++j) {
+      PutVarint32(dst, span.data[j]);
+    }
+    previous = span;
+  }
+}
+
+Status PackedIds::DecodeFrom(std::string_view* input, PackedIds* out) {
+  *out = PackedIds();
+  uint64_t count = 0;
+  GKS_RETURN_IF_ERROR(GetVarint64(input, &count));
+  std::vector<uint32_t> previous;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t shared = 0;
+    uint32_t fresh = 0;
+    GKS_RETURN_IF_ERROR(GetVarint32(input, &shared));
+    GKS_RETURN_IF_ERROR(GetVarint32(input, &fresh));
+    if (shared > previous.size()) {
+      return Status::Corruption("front-coded prefix exceeds predecessor");
+    }
+    if (fresh > 1u << 20) return Status::Corruption("implausible id length");
+    previous.resize(shared);
+    for (uint32_t j = 0; j < fresh; ++j) {
+      uint32_t component = 0;
+      GKS_RETURN_IF_ERROR(GetVarint32(input, &component));
+      previous.push_back(component);
+    }
+    out->Add(DeweySpan{previous.data(),
+                       static_cast<uint32_t>(previous.size())});
+  }
+  return Status::OK();
+}
+
+void PostingList::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  std::vector<uint32_t> perm = ids_.SortPermutation();
+  PackedIds sorted;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    DeweySpan span = ids_.At(perm[i]);
+    if (i > 0 && span.Compare(ids_.At(perm[i - 1])) == 0) continue;
+    sorted.Add(span);
+  }
+  ids_ = std::move(sorted);
+}
+
+Status PostingList::ExtendWith(const PostingList& tail) {
+  if (tail.empty()) return Status::OK();
+  Finalize();  // an empty or unfinalized receiver becomes sorted first
+  if (!empty() && At(size() - 1).Compare(tail.At(0)) >= 0) {
+    return Status::InvalidArgument(
+        "ExtendWith requires the tail to sort after the existing postings");
+  }
+  for (size_t i = 0; i < tail.size(); ++i) ids_.Add(tail.At(i));
+  return Status::OK();
+}
+
+Status PostingList::DecodeFrom(std::string_view* input, PostingList* out) {
+  *out = PostingList();
+  GKS_RETURN_IF_ERROR(PackedIds::DecodeFrom(input, &out->ids_));
+  out->finalized_ = true;
+  return Status::OK();
+}
+
+}  // namespace gks

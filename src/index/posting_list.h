@@ -1,0 +1,133 @@
+#ifndef GKS_INDEX_POSTING_LIST_H_
+#define GKS_INDEX_POSTING_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dewey/dewey_id.h"
+
+namespace gks {
+
+/// A non-owning view over the components of one Dewey id stored inside a
+/// PackedIds container. Valid only while the container is alive and
+/// unmodified.
+struct DeweySpan {
+  const uint32_t* data = nullptr;
+  uint32_t size = 0;
+
+  static DeweySpan Of(const DeweyId& id) {
+    return {id.components().data(),
+            static_cast<uint32_t>(id.components().size())};
+  }
+  // A span into a temporary would dangle immediately; forbid it.
+  static DeweySpan Of(DeweyId&&) = delete;
+
+  DeweyId ToDeweyId() const {
+    return DeweyId(std::vector<uint32_t>(data, data + size));
+  }
+
+  /// Document-order comparison (ancestor before descendant).
+  int Compare(const DeweySpan& other) const;
+
+  /// True if `this` equals `other` or is an ancestor of it.
+  bool IsPrefixOf(const DeweySpan& other) const;
+
+  /// Three-way comparison of `this` against the *subtree* rooted at
+  /// `prefix`: negative if this sorts before every node in that subtree,
+  /// zero if inside it (prefix is self-or-ancestor), positive if after.
+  int CompareToSubtree(const DeweySpan& prefix) const;
+
+  bool operator==(const DeweySpan& other) const { return Compare(other) == 0; }
+};
+
+/// A flat, cache-friendly sequence of Dewey ids: all components live in one
+/// contiguous buffer with an offsets side-array. This is the storage format
+/// for posting lists and the attribute directory — per-id heap allocations
+/// would dominate memory on multi-million-posting corpora.
+class PackedIds {
+ public:
+  PackedIds() { offsets_.push_back(0); }
+
+  void Add(const DeweyId& id) { Add(DeweySpan::Of(id)); }
+  void Add(DeweySpan span);
+
+  size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  DeweySpan At(size_t i) const {
+    return {components_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+  DeweyId IdAt(size_t i) const { return At(i).ToDeweyId(); }
+
+  /// Index permutation that orders the ids in document order.
+  std::vector<uint32_t> SortPermutation() const;
+
+  /// Reorders storage according to `perm` (as produced by SortPermutation).
+  void ApplyPermutation(const std::vector<uint32_t>& perm);
+
+  /// First index i with At(i) inside the subtree of `prefix`, assuming the
+  /// container is sorted. Together with SubtreeEnd this yields the
+  /// contiguous range of all self-or-descendants of `prefix`.
+  size_t SubtreeBegin(DeweySpan prefix) const;
+  size_t SubtreeEnd(DeweySpan prefix) const;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(std::string_view* input, PackedIds* out);
+
+  /// Heap bytes used (for index-size reporting).
+  size_t MemoryUsage() const {
+    return components_.capacity() * sizeof(uint32_t) +
+           offsets_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<uint32_t> components_;
+  std::vector<uint32_t> offsets_;  // size()+1 entries; [i, i+1) delimits id i
+};
+
+/// One keyword's inverted list: document-ordered, duplicate-free Dewey ids
+/// of the nodes whose directly-contained text (or tag name) matches the
+/// keyword. Built in arbitrary order, then finalized once.
+class PostingList {
+ public:
+  void Add(const DeweyId& id) { ids_.Add(id); }
+
+  /// Sorts into document order and removes duplicate ids. Idempotent.
+  void Finalize();
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  DeweySpan At(size_t i) const { return ids_.At(i); }
+  DeweyId IdAt(size_t i) const { return ids_.IdAt(i); }
+
+  size_t SubtreeBegin(DeweySpan prefix) const {
+    return ids_.SubtreeBegin(prefix);
+  }
+  size_t SubtreeEnd(DeweySpan prefix) const { return ids_.SubtreeEnd(prefix); }
+
+  /// True if any posting lies in the subtree of `prefix` (sorted lists only).
+  bool ContainsInSubtree(DeweySpan prefix) const {
+    return SubtreeBegin(prefix) < SubtreeEnd(prefix);
+  }
+
+  /// Appends a finalized `tail` whose first id sorts strictly after this
+  /// list's last id (the incremental-update case: the tail belongs to a
+  /// newer document). InvalidArgument if the order would break.
+  Status ExtendWith(const PostingList& tail);
+
+  void EncodeTo(std::string* dst) const { ids_.EncodeTo(dst); }
+  static Status DecodeFrom(std::string_view* input, PostingList* out);
+
+  size_t MemoryUsage() const { return ids_.MemoryUsage(); }
+
+ private:
+  PackedIds ids_;
+  bool finalized_ = false;
+};
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_POSTING_LIST_H_

@@ -1,0 +1,49 @@
+#include "index/serialization.h"
+
+#include "xml/sax_parser.h"
+
+namespace gks {
+namespace {
+
+constexpr std::string_view kMagic = "GKSIDX01";
+
+}  // namespace
+
+std::string SerializeIndex(const XmlIndex& index) {
+  std::string out;
+  out.append(kMagic);
+  index.catalog.EncodeTo(&out);
+  index.nodes.EncodeTo(&out);
+  index.attributes.EncodeTo(&out);
+  index.inverted.EncodeTo(&out);
+  return out;
+}
+
+Result<XmlIndex> DeserializeIndex(std::string_view bytes) {
+  if (bytes.size() < kMagic.size() ||
+      bytes.substr(0, kMagic.size()) != kMagic) {
+    return Status::Corruption("not a GKS index file (bad magic)");
+  }
+  bytes.remove_prefix(kMagic.size());
+  XmlIndex index;
+  GKS_RETURN_IF_ERROR(Catalog::DecodeFrom(&bytes, &index.catalog));
+  GKS_RETURN_IF_ERROR(NodeInfoTable::DecodeFrom(&bytes, &index.nodes));
+  GKS_RETURN_IF_ERROR(AttrDirectory::DecodeFrom(&bytes, &index.attributes));
+  GKS_RETURN_IF_ERROR(InvertedIndex::DecodeFrom(&bytes, &index.inverted));
+  if (!bytes.empty()) {
+    return Status::Corruption("trailing bytes after index payload");
+  }
+  return index;
+}
+
+Status SaveIndex(const XmlIndex& index, const std::string& path) {
+  return xml::WriteStringToFile(path, SerializeIndex(index));
+}
+
+Result<XmlIndex> LoadIndex(const std::string& path) {
+  std::string bytes;
+  GKS_RETURN_IF_ERROR(xml::ReadFileToString(path, &bytes));
+  return DeserializeIndex(bytes);
+}
+
+}  // namespace gks

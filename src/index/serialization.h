@@ -1,0 +1,25 @@
+#ifndef GKS_INDEX_SERIALIZATION_H_
+#define GKS_INDEX_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// On-disk index format: magic + version header, then the catalog, node
+/// table, attribute directory and inverted index sections, each
+/// varint-encoded. Index preparation is "a onetime activity" (Sec. 7.1.1);
+/// these functions let deployments reuse it across processes.
+Status SaveIndex(const XmlIndex& index, const std::string& path);
+Result<XmlIndex> LoadIndex(const std::string& path);
+
+/// In-memory (de)serialization, used by the file functions and the tests.
+std::string SerializeIndex(const XmlIndex& index);
+Result<XmlIndex> DeserializeIndex(std::string_view bytes);
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_SERIALIZATION_H_

@@ -1,0 +1,31 @@
+#ifndef GKS_INDEX_XML_INDEX_H_
+#define GKS_INDEX_XML_INDEX_H_
+
+#include <cstdint>
+
+#include "index/catalog.h"
+#include "index/inverted_index.h"
+#include "index/node_info_table.h"
+
+namespace gks {
+
+/// Everything the GKS search/analysis engines need at query time, produced
+/// by one pass of the IndexBuilder over the XML repository (Sec. 2.4):
+/// the keyword inverted index, the node-category hash tables, the
+/// attribute-node directory for DI, and the document catalog.
+struct XmlIndex {
+  InvertedIndex inverted;
+  NodeInfoTable nodes;
+  AttrDirectory attributes;
+  Catalog catalog;
+
+  /// Approximate in-memory footprint — the paper's "Index Size" column.
+  size_t MemoryUsage() const {
+    return inverted.MemoryUsage() + nodes.MemoryUsage() +
+           attributes.MemoryUsage();
+  }
+};
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_XML_INDEX_H_

@@ -1,0 +1,77 @@
+#ifndef GKS_SCHEMA_SCHEMA_SUMMARY_H_
+#define GKS_SCHEMA_SCHEMA_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// A DataGuide-style path summary inferred from the indexed instances: one
+/// entry per distinct root-to-node *tag path*, with instance counts per
+/// node category. This implements the paper's stated extension ("GKS can
+/// be easily extended to take into account the XML schema to categorize
+/// the nodes. This is part of our future work.", Sec. 2.2): the schema is
+/// recovered from the data itself, then instance-level category outliers
+/// (a <Course> that happens to have one student, a single-author
+/// <article>) can be reconciled with the majority category of their path.
+class SchemaSummary {
+ public:
+  struct PathInfo {
+    std::vector<uint32_t> tag_path;  // interned tags, document root first
+    uint64_t instances = 0;
+    uint64_t attribute = 0;
+    uint64_t repeating = 0;
+    uint64_t entity = 0;
+    uint64_t connecting = 0;
+    uint64_t total_child_count = 0;  // for average fan-out reporting
+
+    /// Majority-vote category flags: each positive category that holds for
+    /// more than half of the instances (connecting if none does).
+    uint8_t MajorityFlags() const;
+  };
+
+  /// Scans every categorized node of `index` (O(#nodes * depth)).
+  static SchemaSummary Build(const XmlIndex& index);
+
+  /// Info for an exact tag path, or nullptr.
+  const PathInfo* Find(const std::vector<uint32_t>& tag_path) const;
+
+  /// True if the majority of instances on this path are entity nodes.
+  bool IsEntityPath(const std::vector<uint32_t>& tag_path) const;
+
+  size_t path_count() const { return paths_.size(); }
+
+  template <typename F>
+  void ForEach(F f) const {
+    for (const auto& [path, info] : paths_) f(info);
+  }
+
+  /// Indented DataGuide-style dump with instance counts and categories,
+  /// e.g. "Course  x4  [EN (majority), RN]  avg-children=2.0".
+  std::string ToString(const XmlIndex& index) const;
+
+ private:
+  std::map<std::vector<uint32_t>, PathInfo> paths_;
+};
+
+/// Reconciliation statistics returned by ApplySchemaCategorization.
+struct SchemaReconciliation {
+  uint64_t promoted_entities = 0;    // instance CN/RN -> +EN
+  uint64_t promoted_attributes = 0;  // leaf instances aligned with AN paths
+};
+
+/// Upgrades instance-level category outliers to their path's majority
+/// category (entity and attribute promotions only — demotions would lose
+/// information). Returns how many nodes changed. The index's entityHash
+/// view (NodeInfoTable::IsEntity) reflects the change immediately, so LCE
+/// discovery and DI see the schema-reconciled categories.
+SchemaReconciliation ApplySchemaCategorization(const SchemaSummary& summary,
+                                               XmlIndex* index);
+
+}  // namespace gks
+
+#endif  // GKS_SCHEMA_SCHEMA_SUMMARY_H_

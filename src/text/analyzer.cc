@@ -1,0 +1,29 @@
+#include "text/analyzer.h"
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace gks::text {
+
+std::vector<std::string> Analyze(std::string_view input,
+                                 const AnalyzerOptions& options) {
+  std::vector<std::string> tokens = Tokenize(input);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (options.remove_stopwords && IsStopWord(token)) continue;
+    out.push_back(options.stem ? PorterStem(token) : std::move(token));
+  }
+  return out;
+}
+
+std::string AnalyzeTerm(std::string_view term, const AnalyzerOptions& options) {
+  std::vector<std::string> tokens = Analyze(term, options);
+  if (tokens.empty()) return "";
+  // Multi-token terms (e.g. the tag "Dept_Name") keep their first token as
+  // the representative; callers that need every token use Analyze().
+  return tokens.front();
+}
+
+}  // namespace gks::text

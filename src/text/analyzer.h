@@ -1,0 +1,31 @@
+#ifndef GKS_TEXT_ANALYZER_H_
+#define GKS_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gks::text {
+
+/// Options for the keyword pipeline (Sec. 2.4 of the paper: tokenize,
+/// remove stop words, stem). Element tag names go through the same pipeline
+/// minus stop-word removal, so a tag like <The> stays searchable.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+/// Runs the text pipeline: Tokenize -> (drop stop words) -> PorterStem.
+/// Output order follows input order and duplicates are preserved (each
+/// occurrence is a separate posting).
+std::vector<std::string> Analyze(std::string_view input,
+                                 const AnalyzerOptions& options = {});
+
+/// Analyzes a single already-isolated term (tag name or query keyword);
+/// returns the empty string if the term is dropped (stop word / no token).
+std::string AnalyzeTerm(std::string_view term,
+                        const AnalyzerOptions& options = {});
+
+}  // namespace gks::text
+
+#endif  // GKS_TEXT_ANALYZER_H_

@@ -1,0 +1,302 @@
+#include "text/porter_stemmer.h"
+
+namespace gks::text {
+namespace {
+
+// Faithful translation of Martin Porter's reference implementation
+// (https://tartarus.org/martin/PorterStemmer/). The word lives in `b_`
+// with valid range [0, k_]; j_ marks the candidate stem end while a rule's
+// suffix is being examined.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : b_(word) {
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return b_;  // words of length 1-2 are left alone
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<size_t>(k_) + 1);
+  }
+
+ private:
+  // True if b_[i] is a consonant.
+  bool Cons(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure m(): number of VC sequences in [0, j_].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if [0, j_] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b_[i-1..i] is a double consonant.
+  bool DoubleCons(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return Cons(i);
+  }
+
+  // True if b_[i-2..i] is consonant-vowel-consonant and the final consonant
+  // is not w, x or y — used to restore a trailing 'e' (hop -> hoping).
+  bool Cvc(int i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True if the word ends with `s`; sets j_ to just before the suffix.
+  bool Ends(std::string_view s) {
+    int length = static_cast<int>(s.size());
+    if (length > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ - length + 1), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - length;
+    return true;
+  }
+
+  // Replaces the suffix after j_ with `s` and resets k_.
+  void SetTo(std::string_view s) {
+    b_.replace(static_cast<size_t>(j_) + 1, std::string::npos, s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  void ReplaceIfM(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Step 1ab: plurals and -ed / -ing.
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleCons(k_)) {
+        char ch = b_[static_cast<size_t>(k_)];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: terminal y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  // Step 2: double suffixes to single ones, for m > 0.
+  void Step2() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfM("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM("al"); break; }
+        if (Ends("entli")) { ReplaceIfM("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfM("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -ic-, -full, -ness etc.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM(""); break; }
+        if (Ends("alize")) { ReplaceIfM("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: -ant, -ence etc. removed when m > 1.
+  void Step4() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;  // takes care of -ous
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  // Step 5: remove a final -e and reduce -ll, both under measure rules.
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int a = Measure();
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleCons(k_) && Measure() > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = 0;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  return Stemmer(word).Run();
+}
+
+}  // namespace gks::text

@@ -1,0 +1,17 @@
+#ifndef GKS_TEXT_PORTER_STEMMER_H_
+#define GKS_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace gks::text {
+
+/// Classic Porter (1980) suffix-stripping stemmer. Input must be a single
+/// lower-cased word; the stem is returned ("relational" -> "relat",
+/// "databases" -> "databas"). Words of length <= 2 are returned unchanged,
+/// as in the reference implementation.
+std::string PorterStem(std::string_view word);
+
+}  // namespace gks::text
+
+#endif  // GKS_TEXT_PORTER_STEMMER_H_

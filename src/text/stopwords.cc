@@ -1,0 +1,43 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+
+namespace gks::text {
+namespace {
+
+// Sorted so membership is a binary search over string literals; the list is
+// the classic Snowball/SMART-style core set of English function words.
+constexpr std::array<std::string_view, 127> kStopWords = {
+    "a",      "about",  "above",   "after",  "again",  "against", "all",
+    "am",     "an",     "and",     "any",    "are",    "as",      "at",
+    "be",     "because", "been",   "before", "being",  "below",   "between",
+    "both",   "but",    "by",      "can",    "could",  "did",     "do",
+    "does",   "doing",  "down",    "during", "each",   "few",     "for",
+    "from",   "further", "had",    "has",    "have",   "having",  "he",
+    "her",    "here",   "hers",    "herself", "him",   "himself", "his",
+    "how",    "i",      "if",      "in",     "into",   "is",      "it",
+    "its",    "itself", "just",    "me",     "more",   "most",    "my",
+    "myself", "no",     "nor",     "not",    "now",    "of",      "off",
+    "on",     "once",   "only",    "or",     "other",  "our",     "ours",
+    "ourselves", "out", "over",    "own",    "same",   "she",     "should",
+    "so",     "some",   "such",    "than",   "that",   "the",     "their",
+    "theirs", "them",   "themselves", "then", "there", "these",   "they",
+    "this",   "those",  "through", "to",     "too",    "under",   "until",
+    "up",     "very",   "was",     "we",     "were",   "what",    "when",
+    "where",  "which",  "while",   "who",    "whom",   "why",     "will",
+    "with",   "would",  "you",     "your",   "yours",  "yourself",
+    "yourselves",
+};
+
+static_assert(kStopWords.size() == 127);
+
+}  // namespace
+
+bool IsStopWord(std::string_view word) {
+  return std::binary_search(kStopWords.begin(), kStopWords.end(), word);
+}
+
+size_t StopWordCount() { return kStopWords.size(); }
+
+}  // namespace gks::text

@@ -1,0 +1,19 @@
+#ifndef GKS_TEXT_STOPWORDS_H_
+#define GKS_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace gks::text {
+
+/// True for common English function words that the indexer drops
+/// (Sec. 2.4: "a separate index entry is created for each of the keywords
+/// after stop words removal and stemming"). The word must already be
+/// lower-cased.
+bool IsStopWord(std::string_view word);
+
+/// Number of words in the built-in list (exposed for tests).
+size_t StopWordCount();
+
+}  // namespace gks::text
+
+#endif  // GKS_TEXT_STOPWORDS_H_

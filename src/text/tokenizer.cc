@@ -1,0 +1,26 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace gks::text {
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : input) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current.push_back(
+          static_cast<char>(std::tolower(uc)));
+    } else if (c == '\'' && !current.empty()) {
+      // Drop the apostrophe but keep the word running ("Chair's" -> chairs).
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace gks::text

@@ -1,0 +1,19 @@
+#ifndef GKS_TEXT_TOKENIZER_H_
+#define GKS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gks::text {
+
+/// Splits raw text into lower-cased word tokens. A token is a maximal run
+/// of alphanumeric characters; apostrophes inside a word are dropped
+/// ("Chair's" -> "chairs") and everything else is a separator. Pure
+/// number runs are kept (years such as "2001" are first-class keywords in
+/// the paper's DI examples).
+std::vector<std::string> Tokenize(std::string_view input);
+
+}  // namespace gks::text
+
+#endif  // GKS_TEXT_TOKENIZER_H_

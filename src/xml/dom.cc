@@ -1,0 +1,80 @@
+#include "xml/dom.h"
+
+#include <algorithm>
+
+namespace gks::xml {
+
+std::unique_ptr<DomNode> DomNode::Element(std::string name) {
+  auto node = std::unique_ptr<DomNode>(new DomNode(Type::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+std::unique_ptr<DomNode> DomNode::Text(std::string text) {
+  auto node = std::unique_ptr<DomNode>(new DomNode(Type::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+void DomNode::AddAttribute(std::string name, std::string value) {
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+const std::string* DomNode::FindAttribute(std::string_view name) const {
+  for (const XmlAttribute& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+DomNode* DomNode::AddChild(std::unique_ptr<DomNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+DomNode* DomNode::AddChildElement(std::string name) {
+  return AddChild(Element(std::move(name)));
+}
+
+DomNode* DomNode::AddTextChild(std::string text) {
+  return AddChild(Text(std::move(text)));
+}
+
+DomNode* DomNode::AddLeaf(std::string name, std::string text) {
+  DomNode* leaf = AddChildElement(std::move(name));
+  leaf->AddTextChild(std::move(text));
+  return leaf;
+}
+
+const DomNode* DomNode::FindChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::string DomNode::InnerText() const {
+  if (is_text()) return text_;
+  std::string out;
+  for (const auto& child : children_) {
+    out += child->InnerText();
+  }
+  return out;
+}
+
+size_t DomNode::SubtreeSize() const {
+  size_t total = 1;
+  for (const auto& child : children_) total += child->SubtreeSize();
+  return total;
+}
+
+size_t DomNode::SubtreeDepth() const {
+  size_t deepest = 0;
+  for (const auto& child : children_) {
+    deepest = std::max(deepest, 1 + child->SubtreeDepth());
+  }
+  return deepest;
+}
+
+}  // namespace gks::xml

@@ -1,0 +1,94 @@
+#ifndef GKS_XML_DOM_H_
+#define GKS_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/lexer.h"
+
+namespace gks::xml {
+
+/// In-memory tree node. The DOM exists for tests, brute-force oracles and
+/// the synthetic data generators; the indexing path is purely streaming.
+class DomNode {
+ public:
+  enum class Type { kElement, kText };
+
+  static std::unique_ptr<DomNode> Element(std::string name);
+  static std::unique_ptr<DomNode> Text(std::string text);
+
+  DomNode(const DomNode&) = delete;
+  DomNode& operator=(const DomNode&) = delete;
+
+  Type type() const { return type_; }
+  bool is_element() const { return type_ == Type::kElement; }
+  bool is_text() const { return type_ == Type::kText; }
+
+  /// Tag name (elements) — empty for text nodes.
+  const std::string& name() const { return name_; }
+  /// Character data (text nodes) — empty for elements.
+  const std::string& text() const { return text_; }
+
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+  void AddAttribute(std::string name, std::string value);
+  /// Returns the attribute value or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  DomNode* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<DomNode>>& children() const {
+    return children_;
+  }
+
+  /// Appends `child` and returns a borrowed pointer to it for chaining.
+  DomNode* AddChild(std::unique_ptr<DomNode> child);
+  /// Convenience: appends `<name>text</name>` and returns the new element.
+  DomNode* AddChildElement(std::string name);
+  DomNode* AddTextChild(std::string text);
+  DomNode* AddLeaf(std::string name, std::string text);
+
+  /// First child element with the given tag, or nullptr.
+  const DomNode* FindChild(std::string_view name) const;
+
+  /// Concatenated text of all descendant text nodes.
+  std::string InnerText() const;
+
+  /// Number of nodes in this subtree (this node included; text nodes count).
+  size_t SubtreeSize() const;
+  /// Longest root-to-leaf edge count within this subtree.
+  size_t SubtreeDepth() const;
+
+ private:
+  explicit DomNode(Type type) : type_(type) {}
+
+  Type type_;
+  std::string name_;
+  std::string text_;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<std::unique_ptr<DomNode>> children_;
+  DomNode* parent_ = nullptr;
+};
+
+/// Owns a parsed document: the root element plus nothing else (comments and
+/// processing instructions are dropped at parse time).
+class DomDocument {
+ public:
+  DomDocument() = default;
+  explicit DomDocument(std::unique_ptr<DomNode> root)
+      : root_(std::move(root)) {}
+
+  DomDocument(DomDocument&&) = default;
+  DomDocument& operator=(DomDocument&&) = default;
+
+  const DomNode* root() const { return root_.get(); }
+  DomNode* mutable_root() { return root_.get(); }
+  bool empty() const { return root_ == nullptr; }
+
+ private:
+  std::unique_ptr<DomNode> root_;
+};
+
+}  // namespace gks::xml
+
+#endif  // GKS_XML_DOM_H_

@@ -1,0 +1,60 @@
+#include "xml/dom_builder.h"
+
+#include <memory>
+#include <vector>
+
+namespace gks::xml {
+namespace {
+
+class DomBuildingHandler : public SaxHandler {
+ public:
+  Status StartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& attributes) override {
+    auto element = DomNode::Element(std::string(name));
+    for (const XmlAttribute& attr : attributes) {
+      element->AddAttribute(attr.name, attr.value);
+    }
+    DomNode* raw = element.get();
+    if (stack_.empty()) {
+      root_ = std::move(element);
+    } else {
+      stack_.back()->AddChild(std::move(element));
+    }
+    stack_.push_back(raw);
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override {
+    stack_.pop_back();
+    return Status::OK();
+  }
+
+  Status Characters(std::string_view text) override {
+    stack_.back()->AddTextChild(std::string(text));
+    return Status::OK();
+  }
+
+  std::unique_ptr<DomNode> TakeRoot() { return std::move(root_); }
+
+ private:
+  std::unique_ptr<DomNode> root_;
+  std::vector<DomNode*> stack_;
+};
+
+}  // namespace
+
+Result<DomDocument> ParseDom(std::string_view input,
+                             const SaxOptions& options) {
+  DomBuildingHandler handler;
+  GKS_RETURN_IF_ERROR(ParseXml(input, &handler, options));
+  return DomDocument(handler.TakeRoot());
+}
+
+Result<DomDocument> ParseDomFile(const std::string& path,
+                                 const SaxOptions& options) {
+  DomBuildingHandler handler;
+  GKS_RETURN_IF_ERROR(ParseXmlFile(path, &handler, options));
+  return DomDocument(handler.TakeRoot());
+}
+
+}  // namespace gks::xml

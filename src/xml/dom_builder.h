@@ -1,0 +1,23 @@
+#ifndef GKS_XML_DOM_BUILDER_H_
+#define GKS_XML_DOM_BUILDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xml/sax_parser.h"
+
+namespace gks::xml {
+
+/// Parses an in-memory document into a DOM tree.
+Result<DomDocument> ParseDom(std::string_view input,
+                             const SaxOptions& options = SaxOptions());
+
+/// Parses the file at `path` into a DOM tree.
+Result<DomDocument> ParseDomFile(const std::string& path,
+                                 const SaxOptions& options = SaxOptions());
+
+}  // namespace gks::xml
+
+#endif  // GKS_XML_DOM_BUILDER_H_

@@ -1,0 +1,137 @@
+#include "xml/escape.h"
+
+#include <cstdint>
+
+namespace gks::xml {
+namespace {
+
+// Appends the UTF-8 encoding of `code_point` to `out`. Returns false for
+// values outside the Unicode scalar range.
+bool AppendUtf8(uint32_t code_point, std::string* out) {
+  if (code_point <= 0x7f) {
+    out->push_back(static_cast<char>(code_point));
+  } else if (code_point <= 0x7ff) {
+    out->push_back(static_cast<char>(0xc0 | (code_point >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+  } else if (code_point <= 0xffff) {
+    if (code_point >= 0xd800 && code_point <= 0xdfff) return false;
+    out->push_back(static_cast<char>(0xe0 | (code_point >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+  } else if (code_point <= 0x10ffff) {
+    out->push_back(static_cast<char>(0xf0 | (code_point >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      return Status::Corruption("unterminated entity reference");
+    }
+    std::string_view name = text.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out.push_back('&');
+    } else if (name == "lt") {
+      out.push_back('<');
+    } else if (name == "gt") {
+      out.push_back('>');
+    } else if (name == "apos") {
+      out.push_back('\'');
+    } else if (name == "quot") {
+      out.push_back('"');
+    } else if (!name.empty() && name[0] == '#') {
+      uint32_t code_point = 0;
+      bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
+      std::string_view digits = name.substr(hex ? 2 : 1);
+      if (digits.empty()) return Status::Corruption("empty char reference");
+      for (char d : digits) {
+        uint32_t digit;
+        if (d >= '0' && d <= '9') {
+          digit = static_cast<uint32_t>(d - '0');
+        } else if (hex && d >= 'a' && d <= 'f') {
+          digit = static_cast<uint32_t>(d - 'a' + 10);
+        } else if (hex && d >= 'A' && d <= 'F') {
+          digit = static_cast<uint32_t>(d - 'A' + 10);
+        } else {
+          return Status::Corruption("bad character reference digit");
+        }
+        code_point = code_point * (hex ? 16 : 10) + digit;
+        if (code_point > 0x10ffff) {
+          return Status::Corruption("character reference out of range");
+        }
+      }
+      if (!AppendUtf8(code_point, &out)) {
+        return Status::Corruption("character reference out of range");
+      }
+    } else {
+      return Status::Corruption("unknown entity: &" + std::string(name) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace gks::xml

@@ -1,0 +1,24 @@
+#ifndef GKS_XML_ESCAPE_H_
+#define GKS_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gks::xml {
+
+/// Escapes text content: & < > become entity references.
+std::string EscapeText(std::string_view text);
+
+/// Escapes an attribute value for double-quoted output (adds " escaping).
+std::string EscapeAttribute(std::string_view text);
+
+/// Expands the five predefined entities (&amp; &lt; &gt; &apos; &quot;) and
+/// decimal/hex character references (&#65; &#x41;) to UTF-8. Unknown entity
+/// names are an error (Corruption) — GKS does not load external DTDs.
+Result<std::string> UnescapeEntities(std::string_view text);
+
+}  // namespace gks::xml
+
+#endif  // GKS_XML_ESCAPE_H_

@@ -1,0 +1,234 @@
+#include "xml/lexer.h"
+
+#include <cctype>
+
+#include "xml/escape.h"
+
+namespace gks::xml {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+}  // namespace
+
+char XmlLexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool XmlLexer::Match(char expected) {
+  if (AtEnd() || Peek() != expected) return false;
+  Advance();
+  return true;
+}
+
+Status XmlLexer::ErrorHere(std::string message) const {
+  return Status::Corruption("XML error at line " + std::to_string(line_) +
+                            ", col " + std::to_string(column_) + ": " +
+                            std::move(message));
+}
+
+void XmlLexer::SkipWhitespace() {
+  while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+    Advance();
+  }
+}
+
+Status XmlLexer::LexName(std::string* name) {
+  if (AtEnd() || !IsNameStartChar(Peek())) {
+    return ErrorHere("expected a name");
+  }
+  name->clear();
+  while (!AtEnd() && IsNameChar(Peek())) name->push_back(Advance());
+  return Status::OK();
+}
+
+Status XmlLexer::Next(XmlToken* token) {
+  *token = XmlToken();
+  token->line = line_;
+  token->column = column_;
+  if (AtEnd()) {
+    token->kind = XmlToken::Kind::kEof;
+    return Status::OK();
+  }
+  if (Peek() == '<') {
+    return LexMarkup(token);
+  }
+  // Character data runs until the next markup.
+  size_t start = pos_;
+  while (!AtEnd() && Peek() != '<') Advance();
+  std::string_view raw = input_.substr(start, pos_ - start);
+  Result<std::string> unescaped = UnescapeEntities(raw);
+  if (!unescaped.ok()) return ErrorHere(unescaped.status().message());
+  token->kind = XmlToken::Kind::kText;
+  token->text = std::move(unescaped).value();
+  return Status::OK();
+}
+
+Status XmlLexer::LexMarkup(XmlToken* token) {
+  Advance();  // consume '<'
+  if (AtEnd()) return ErrorHere("unexpected end after '<'");
+  char c = Peek();
+  if (c == '/') {
+    Advance();
+    return LexEndTag(token);
+  }
+  if (c == '?') {
+    Advance();
+    return LexProcessing(token);
+  }
+  if (c == '!') {
+    Advance();
+    if (Match('-')) {
+      if (!Match('-')) return ErrorHere("malformed comment start");
+      return LexComment(token);
+    }
+    if (!AtEnd() && Peek() == '[') {
+      return LexCData(token);
+    }
+    return LexDoctype(token);
+  }
+  return LexStartTag(token);
+}
+
+Status XmlLexer::LexStartTag(XmlToken* token) {
+  token->kind = XmlToken::Kind::kStartTag;
+  GKS_RETURN_IF_ERROR(LexName(&token->name));
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return ErrorHere("unterminated start tag");
+    if (Match('>')) return Status::OK();
+    if (Match('/')) {
+      if (!Match('>')) return ErrorHere("expected '>' after '/'");
+      token->self_closing = true;
+      return Status::OK();
+    }
+    XmlAttribute attr;
+    GKS_RETURN_IF_ERROR(LexName(&attr.name));
+    SkipWhitespace();
+    if (!Match('=')) return ErrorHere("expected '=' in attribute");
+    SkipWhitespace();
+    GKS_RETURN_IF_ERROR(LexAttributeValue(&attr.value));
+    token->attributes.push_back(std::move(attr));
+  }
+}
+
+Status XmlLexer::LexAttributeValue(std::string* value) {
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return ErrorHere("expected quoted attribute value");
+  }
+  char quote = Advance();
+  size_t start = pos_;
+  while (!AtEnd() && Peek() != quote) {
+    if (Peek() == '<') return ErrorHere("'<' in attribute value");
+    Advance();
+  }
+  if (AtEnd()) return ErrorHere("unterminated attribute value");
+  std::string_view raw = input_.substr(start, pos_ - start);
+  Advance();  // closing quote
+  Result<std::string> unescaped = UnescapeEntities(raw);
+  if (!unescaped.ok()) return ErrorHere(unescaped.status().message());
+  *value = std::move(unescaped).value();
+  return Status::OK();
+}
+
+Status XmlLexer::LexEndTag(XmlToken* token) {
+  token->kind = XmlToken::Kind::kEndTag;
+  GKS_RETURN_IF_ERROR(LexName(&token->name));
+  SkipWhitespace();
+  if (!Match('>')) return ErrorHere("expected '>' in end tag");
+  return Status::OK();
+}
+
+Status XmlLexer::LexComment(XmlToken* token) {
+  token->kind = XmlToken::Kind::kComment;
+  size_t start = pos_;
+  while (pos_ + 2 < input_.size() + 1) {
+    if (AtEnd()) break;
+    if (Peek() == '-' && pos_ + 2 < input_.size() && input_[pos_ + 1] == '-' &&
+        input_[pos_ + 2] == '>') {
+      token->text.assign(input_.substr(start, pos_ - start));
+      Advance();
+      Advance();
+      Advance();
+      return Status::OK();
+    }
+    Advance();
+  }
+  return ErrorHere("unterminated comment");
+}
+
+Status XmlLexer::LexCData(XmlToken* token) {
+  // We have consumed "<!" and Peek() == '['.
+  constexpr std::string_view kOpen = "[CDATA[";
+  if (input_.substr(pos_, kOpen.size()) != kOpen) {
+    return ErrorHere("malformed CDATA section");
+  }
+  for (size_t i = 0; i < kOpen.size(); ++i) Advance();
+  token->kind = XmlToken::Kind::kCData;
+  size_t start = pos_;
+  while (!AtEnd()) {
+    if (Peek() == ']' && pos_ + 2 < input_.size() && input_[pos_ + 1] == ']' &&
+        input_[pos_ + 2] == '>') {
+      token->text.assign(input_.substr(start, pos_ - start));
+      Advance();
+      Advance();
+      Advance();
+      return Status::OK();
+    }
+    Advance();
+  }
+  return ErrorHere("unterminated CDATA section");
+}
+
+Status XmlLexer::LexProcessing(XmlToken* token) {
+  token->kind = XmlToken::Kind::kProcessing;
+  GKS_RETURN_IF_ERROR(LexName(&token->name));
+  size_t start = pos_;
+  while (!AtEnd()) {
+    if (Peek() == '?' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+      token->text.assign(input_.substr(start, pos_ - start));
+      Advance();
+      Advance();
+      return Status::OK();
+    }
+    Advance();
+  }
+  return ErrorHere("unterminated processing instruction");
+}
+
+Status XmlLexer::LexDoctype(XmlToken* token) {
+  token->kind = XmlToken::Kind::kDoctype;
+  // Consume the keyword (DOCTYPE, ENTITY, ...) and body up to the matching
+  // '>' (internal subsets use nested '[' ... ']').
+  size_t start = pos_;
+  int bracket_depth = 0;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '[') ++bracket_depth;
+    if (c == ']') --bracket_depth;
+    if (c == '>' && bracket_depth <= 0) {
+      token->text.assign(input_.substr(start, pos_ - start));
+      Advance();
+      return Status::OK();
+    }
+    Advance();
+  }
+  return ErrorHere("unterminated <!...> declaration");
+}
+
+}  // namespace gks::xml

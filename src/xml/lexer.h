@@ -1,0 +1,88 @@
+#ifndef GKS_XML_LEXER_H_
+#define GKS_XML_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gks::xml {
+
+/// One name="value" pair. Values are stored unescaped.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const XmlAttribute& other) const {
+    return name == other.name && value == other.value;
+  }
+};
+
+/// A single structural token produced by the lexer. The lexer does not
+/// validate element nesting — that is the SAX parser's job.
+struct XmlToken {
+  enum class Kind {
+    kStartTag,   // <name a="1"> or <name/> (see self_closing)
+    kEndTag,     // </name>
+    kText,       // character data (unescaped)
+    kCData,      // <![CDATA[...]]> content
+    kComment,    // <!-- ... -->
+    kProcessing, // <?name ...?> including the XML declaration
+    kDoctype,    // <!DOCTYPE ...> (content not interpreted)
+    kEof,
+  };
+
+  Kind kind = Kind::kEof;
+  std::string name;                     // tag / PI target name
+  std::string text;                     // text, CDATA, comment, PI body
+  std::vector<XmlAttribute> attributes; // start tags only
+  bool self_closing = false;            // start tags only
+  size_t line = 0;                      // 1-based position of token start
+  size_t column = 0;
+};
+
+/// Pull-lexer over an in-memory XML document. Tracks line/column for error
+/// reporting. `input` must outlive the lexer.
+class XmlLexer {
+ public:
+  explicit XmlLexer(std::string_view input) : input_(input) {}
+
+  XmlLexer(const XmlLexer&) = delete;
+  XmlLexer& operator=(const XmlLexer&) = delete;
+
+  /// Produces the next token, or a Corruption status pinpointing the
+  /// offending line/column. After kEof, keeps returning kEof.
+  Status Next(XmlToken* token);
+
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+ private:
+  Status LexMarkup(XmlToken* token);
+  Status LexStartTag(XmlToken* token);
+  Status LexEndTag(XmlToken* token);
+  Status LexComment(XmlToken* token);
+  Status LexCData(XmlToken* token);
+  Status LexProcessing(XmlToken* token);
+  Status LexDoctype(XmlToken* token);
+  Status LexName(std::string* name);
+  Status LexAttributeValue(std::string* value);
+  void SkipWhitespace();
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char Advance();
+  bool Match(char expected);
+  Status ErrorHere(std::string message) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace gks::xml
+
+#endif  // GKS_XML_LEXER_H_

@@ -1,0 +1,75 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace gks::xml {
+namespace {
+
+void WriteNode(const DomNode& node, const WriterOptions& options, int depth,
+               std::string* out) {
+  auto indent = [&](int d) {
+    if (options.indent) out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+
+  if (node.is_text()) {
+    indent(depth);
+    out->append(EscapeText(node.text()));
+    if (options.indent) out->push_back('\n');
+    return;
+  }
+
+  indent(depth);
+  out->push_back('<');
+  out->append(node.name());
+  for (const XmlAttribute& attr : node.attributes()) {
+    out->push_back(' ');
+    out->append(attr.name);
+    out->append("=\"");
+    out->append(EscapeAttribute(attr.value));
+    out->push_back('"');
+  }
+  if (node.children().empty()) {
+    out->append("/>");
+    if (options.indent) out->push_back('\n');
+    return;
+  }
+
+  // Single text child renders inline: <name>text</name>.
+  if (node.children().size() == 1 && node.children()[0]->is_text()) {
+    out->push_back('>');
+    out->append(EscapeText(node.children()[0]->text()));
+    out->append("</");
+    out->append(node.name());
+    out->push_back('>');
+    if (options.indent) out->push_back('\n');
+    return;
+  }
+
+  out->push_back('>');
+  if (options.indent) out->push_back('\n');
+  for (const auto& child : node.children()) {
+    WriteNode(*child, options, depth + 1, out);
+  }
+  indent(depth);
+  out->append("</");
+  out->append(node.name());
+  out->push_back('>');
+  if (options.indent) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteXml(const DomNode& node, const WriterOptions& options) {
+  std::string out;
+  if (options.declaration) out.append("<?xml version=\"1.0\"?>\n");
+  WriteNode(node, options, 0, &out);
+  return out;
+}
+
+std::string WriteXml(const DomDocument& document,
+                     const WriterOptions& options) {
+  if (document.empty()) return "";
+  return WriteXml(*document.root(), options);
+}
+
+}  // namespace gks::xml

@@ -1,0 +1,27 @@
+#ifndef GKS_XML_WRITER_H_
+#define GKS_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace gks::xml {
+
+struct WriterOptions {
+  /// Pretty-print with 2-space indentation; compact output otherwise.
+  bool indent = true;
+  /// Prepend an <?xml version="1.0"?> declaration.
+  bool declaration = false;
+};
+
+/// Serializes `node` (and its subtree) back to XML text.
+std::string WriteXml(const DomNode& node,
+                     const WriterOptions& options = WriterOptions());
+
+/// Serializes a whole document.
+std::string WriteXml(const DomDocument& document,
+                     const WriterOptions& options = WriterOptions());
+
+}  // namespace gks::xml
+
+#endif  // GKS_XML_WRITER_H_

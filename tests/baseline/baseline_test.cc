@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "baseline/match_trie.h"
+#include "baseline/naive_gks.h"
+#include "baseline/slca_ile.h"
+#include "core/merged_list.h"
+#include "data/figures.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+using gks::testing::ParseQueryOrDie;
+
+std::vector<std::string> ToStrings(const std::vector<DeweyId>& ids) {
+  std::vector<std::string> out;
+  for (const DeweyId& id : ids) out.push_back(id.ToString());
+  return out;
+}
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { index_ = BuildIndexFromXml(data::Figure2aXml()); }
+
+  MatchTrie TrieFor(const Query& query) {
+    return MatchTrie(MergedList::Build(index_, query), query.size());
+  }
+
+  XmlIndex index_;
+};
+
+TEST_F(BaselineTest, SlcaSingleKeywordIsOccurrenceNodes) {
+  Query query = ParseQueryOrDie("karen");
+  std::vector<std::string> slcas = ToStrings(TrieFor(query).ComputeSlcas());
+  // karen occurs at three Student nodes (Data Mining, AI, and nowhere
+  // else); with one keyword the SLCAs are the occurrence nodes themselves.
+  EXPECT_EQ(slcas.size(), 2u);
+}
+
+TEST_F(BaselineTest, SlcaPerfectQuery) {
+  // karen+mike+john co-occur only under the Data Mining course; the SLCA
+  // is its <Students> node (the LCA of the three Student leaves).
+  Query query = ParseQueryOrDie("karen mike john");
+  std::vector<std::string> slcas = ToStrings(TrieFor(query).ComputeSlcas());
+  EXPECT_EQ(slcas, std::vector<std::string>{"d0.0.1.1.0.1"});
+}
+
+TEST_F(BaselineTest, SlcaImperfectQueryJumpsToAncestor) {
+  // karen+julie never share a course: the SLCA degrades to the common
+  // <Courses> node — the "meaningless ancestor" problem GKS addresses.
+  Query query = ParseQueryOrDie("karen julie");
+  std::vector<std::string> slcas = ToStrings(TrieFor(query).ComputeSlcas());
+  EXPECT_EQ(slcas, std::vector<std::string>{"d0.0.1.1"});
+}
+
+TEST_F(BaselineTest, ElcaIsSupersetOfSlca) {
+  for (const char* text : {"karen mike", "karen julie", "student karen",
+                           "karen mike john", "serena peter"}) {
+    Query query = ParseQueryOrDie(text);
+    MatchTrie trie = TrieFor(query);
+    std::vector<DeweyId> slcas = trie.ComputeSlcas();
+    std::vector<std::string> elca_strings = ToStrings(trie.ComputeElcas());
+    std::set<std::string> elca_set(elca_strings.begin(), elca_strings.end());
+    for (const DeweyId& id : slcas) {
+      EXPECT_TRUE(elca_set.count(id.ToString()))
+          << text << ": SLCA " << id.ToString() << " missing from ELCA";
+    }
+  }
+}
+
+TEST_F(BaselineTest, ElcaFindsNestedIndependentWitness) {
+  // peter+serena co-occur in the AI course AND in the Logic course; both
+  // <Students> nodes are SLCAs, no strict ancestor qualifies as ELCA
+  // beyond them (each ancestor's witnesses sit inside full descendants).
+  Query query = ParseQueryOrDie("serena peter");
+  MatchTrie trie = TrieFor(query);
+  EXPECT_EQ(trie.ComputeSlcas().size(), 2u);
+  EXPECT_EQ(trie.ComputeElcas().size(), 2u);
+}
+
+TEST_F(BaselineTest, IleMatchesTrieOnFigure2a) {
+  for (const char* text :
+       {"karen", "karen mike", "karen mike john", "karen julie",
+        "student karen", "serena peter", "karen mike john julie serena"}) {
+    Query query = ParseQueryOrDie(text);
+    std::vector<std::string> ile = ToStrings(ComputeSlcaIle(index_, query));
+    std::vector<std::string> trie = ToStrings(TrieFor(query).ComputeSlcas());
+    EXPECT_EQ(ile, trie) << text;
+  }
+}
+
+TEST_F(BaselineTest, IleEmptyWhenAnyKeywordAbsent) {
+  Query query = ParseQueryOrDie("karen harry");
+  EXPECT_TRUE(ComputeSlcaIle(index_, query).empty());
+}
+
+TEST_F(BaselineTest, CasContainAllAncestorsOfSlca) {
+  Query query = ParseQueryOrDie("karen mike john");
+  MatchTrie trie = TrieFor(query);
+  std::vector<DeweyId> cas = trie.ComputeCas();
+  // CA chain: Students, Course, Courses, Area, Dept, plus the document
+  // prefix d0 itself = 6.
+  EXPECT_EQ(cas.size(), 6u);
+}
+
+TEST_F(BaselineTest, NaiveGksEnumeratesSubsets) {
+  Query query = ParseQueryOrDie("karen mike john");
+  NaiveGksResult result = ComputeNaiveGks(index_, query, 2);
+  // Subsets of size >= 2 from 3 keywords: 3 pairs + 1 triple = 4.
+  EXPECT_EQ(result.subsets_evaluated, 4u);
+  EXPECT_FALSE(result.nodes.empty());
+
+  NaiveGksResult all = ComputeNaiveGks(index_, query, 1);
+  EXPECT_EQ(all.subsets_evaluated, 7u);  // 2^3 - 1
+  EXPECT_GE(all.nodes.size(), result.nodes.size());
+}
+
+TEST_F(BaselineTest, NaiveGksRefusesHugeQueries) {
+  std::vector<std::string> keywords;
+  for (int i = 0; i < 20; ++i) keywords.push_back("k" + std::to_string(i));
+  Result<Query> query = Query::FromKeywords(keywords);
+  ASSERT_TRUE(query.ok());
+  NaiveGksResult result = ComputeNaiveGks(index_, *query, 1, 16);
+  EXPECT_EQ(result.subsets_evaluated, 0u);
+  EXPECT_TRUE(result.nodes.empty());
+}
+
+TEST_F(BaselineTest, TrieMaskOf) {
+  Query query = ParseQueryOrDie("karen mike");
+  MatchTrie trie = TrieFor(query);
+  Result<DeweyId> dm_course = DeweyId::Parse("0.0.1.1.0");
+  ASSERT_TRUE(dm_course.ok());
+  EXPECT_EQ(trie.MaskOf(*dm_course), 0b11ull);
+  Result<DeweyId> logic_course = DeweyId::Parse("0.0.2.1.0");
+  ASSERT_TRUE(logic_course.ok());
+  EXPECT_EQ(trie.MaskOf(*logic_course), 0u);
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,46 @@
+#include "common/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace gks {
+namespace {
+
+TEST(StringUtilTest, SplitSkipsEmptyPieces) {
+  EXPECT_EQ(SplitString("a.b..c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("", '.'), std::vector<std::string>{});
+  EXPECT_EQ(SplitString("...", '.'), std::vector<std::string>{});
+  EXPECT_EQ(SplitString("solo", '.'), std::vector<std::string>{"solo"});
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"x"}, ", "), "x");
+}
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("MiXeD 42!"), "mixed 42!");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  core  "), "core");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(3u << 20), "3.00 MB");
+}
+
+}  // namespace
+}  // namespace gks

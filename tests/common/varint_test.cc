@@ -1,0 +1,88 @@
+#include "common/varint.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gks {
+namespace {
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  for (uint32_t v : {0u, 1u, 63u, 127u}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+  }
+}
+
+TEST(VarintTest, RoundTrip32) {
+  std::vector<uint32_t> values = {0, 1, 127, 128, 300, 16383, 16384,
+                                  1u << 20, UINT32_MAX};
+  std::string buf;
+  for (uint32_t v : values) PutVarint32(&buf, v);
+  std::string_view view = buf;
+  for (uint32_t expected : values) {
+    uint32_t got = 0;
+    ASSERT_TRUE(GetVarint32(&view, &got).ok());
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(VarintTest, RoundTrip64) {
+  std::vector<uint64_t> values = {0, 1, 1ull << 32, 1ull << 56, UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  std::string_view view = buf;
+  for (uint64_t expected : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&view, &got).ok());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  std::string_view view = buf;
+  uint64_t got = 0;
+  EXPECT_EQ(GetVarint64(&view, &got).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, Overlong32IsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  std::string_view view = buf;
+  uint32_t got = 0;
+  EXPECT_EQ(GetVarint32(&view, &got).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view view = buf;
+  std::string a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&view, &a).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&view, &b).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&view, &c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(VarintTest, LengthPrefixedTruncatedBody) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(3);
+  std::string_view view = buf;
+  std::string out;
+  EXPECT_EQ(GetLengthPrefixed(&view, &out).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,130 @@
+// Tests for the extensions beyond the paper's core pipeline: tag-
+// constrained keywords (tag:keyword), Figure 2(b)-style result chunks,
+// and the per-stage search diagnostics.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/chunk.h"
+#include "core/searcher.h"
+#include "data/figures.h"
+#include "tests/test_util.h"
+#include "xml/writer.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+using gks::testing::ParseQueryOrDie;
+using gks::testing::SearchOrDie;
+
+constexpr const char* kShopXml = R"(<shop>
+  <item><name>street 2001</name><built>1990</built></item>
+  <item><name>odyssey</name><built>2001</built></item>
+  <item><name>atlas</name><built>2001</built></item>
+</shop>)";
+
+TEST(TagConstraintTest, ParseForms) {
+  Query query = ParseQueryOrDie("built:2001 name:\"street 2001\" plain");
+  ASSERT_EQ(query.size(), 3u);
+  EXPECT_EQ(query.atoms()[0].tag_constraint, "built");
+  EXPECT_EQ(query.atoms()[0].terms, std::vector<std::string>{"2001"});
+  EXPECT_EQ(query.atoms()[1].tag_constraint, "name");
+  EXPECT_EQ(query.atoms()[1].terms,
+            (std::vector<std::string>{"street", "2001"}));
+  EXPECT_TRUE(query.atoms()[2].tag_constraint.empty());
+  // Raw form round-trips with the constraint prefix.
+  EXPECT_EQ(query.atoms()[0].raw, "built:2001");
+}
+
+TEST(TagConstraintTest, ConstraintFiltersOccurrences) {
+  XmlIndex index = BuildIndexFromXml(kShopXml);
+  SearchOptions options;
+  options.s = 1;
+
+  // Unconstrained: "2001" occurs in three items (one as a street name).
+  SearchResponse all = SearchOrDie(index, "2001", options);
+  EXPECT_EQ(all.nodes.size(), 3u);
+
+  // Constrained to <built>: the street-name occurrence is filtered out.
+  SearchResponse built = SearchOrDie(index, "built:2001", options);
+  EXPECT_EQ(built.nodes.size(), 2u);
+  for (const GksNode& node : built.nodes) {
+    EXPECT_NE(node.id.ToString(), "d0.0.0") << "street item must not match";
+  }
+}
+
+TEST(TagConstraintTest, ConstraintIsStemmedAndCaseFolded) {
+  XmlIndex index = BuildIndexFromXml(
+      "<r><Students><Student>Karen</Student></Students><note>Karen</note></r>");
+  SearchOptions options;
+  options.s = 1;
+  // "students:karen" (plural, lower case) must match the <Student> tag.
+  SearchResponse response = SearchOrDie(index, "students:karen", options);
+  ASSERT_EQ(response.merged_list_size, 1u);
+}
+
+TEST(TagConstraintTest, ImpossibleConstraintYieldsNothing) {
+  XmlIndex index = BuildIndexFromXml(kShopXml);
+  SearchOptions options;
+  options.s = 1;
+  SearchResponse response = SearchOrDie(index, "nosuchtag:2001", options);
+  EXPECT_TRUE(response.nodes.empty());
+}
+
+TEST(ChunkTest, Figure2bShape) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml());
+  Query query = ParseQueryOrDie("karen mike john harry");
+  SearchOptions options;
+  options.s = 2;
+  SearchResponse response =
+      SearchOrDie(index, "karen mike john harry", options);
+  ASSERT_FALSE(response.nodes.empty());
+
+  ChunkBuilder builder(index, query);
+  xml::DomDocument chunk = builder.Build(response.nodes[0]);
+  ASSERT_FALSE(chunk.empty());
+  // Figure 2(b): the course chunk shows its Name attribute and the matched
+  // students under the reconstructed <Students> wrapper.
+  std::string rendered = WriteXml(chunk);
+  EXPECT_EQ(chunk.root()->name(), "Course");
+  EXPECT_NE(rendered.find("<Name>Data Mining</Name>"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("<Students>"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("<Student>Karen</Student>"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("<Student>Mike</Student>"), std::string::npos);
+  // Unmatched students of other courses must not leak into this chunk.
+  EXPECT_EQ(rendered.find("Serena"), std::string::npos) << rendered;
+}
+
+TEST(ChunkTest, LeafCapRespected) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml());
+  Query query = ParseQueryOrDie("student");
+  SearchOptions options;
+  options.s = 1;
+  SearchResponse response = SearchOrDie(index, "student", options);
+  ASSERT_FALSE(response.nodes.empty());
+  ChunkBuilder builder(index, query);
+  ChunkBuilder::Options chunk_options;
+  chunk_options.max_leaves = 2;
+  xml::DomDocument chunk = builder.Build(response.nodes[0], chunk_options);
+  // 2 leaves max -> subtree size stays small.
+  EXPECT_LE(chunk.root()->SubtreeSize(), 8u);
+}
+
+TEST(DiagnosticsTest, TimingsAndFormat) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml());
+  SearchOptions options;
+  options.s = 1;
+  SearchResponse response = SearchOrDie(index, "karen mike", options);
+  EXPECT_GT(response.timings.total_ms, 0.0);
+  EXPECT_GE(response.timings.total_ms,
+            response.timings.merge_ms + response.timings.window_ms);
+  std::string text = FormatSearchDiagnostics(response);
+  EXPECT_NE(text.find("|S_L|"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gks

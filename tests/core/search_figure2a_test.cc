@@ -1,0 +1,174 @@
+// Reproduces Examples 3 and 4 and the DI discovery of Sec. 2.3 on the
+// Figure 2(a) university document.
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/searcher.h"
+#include "data/figures.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+using gks::testing::FindNode;
+using gks::testing::SearchOrDie;
+
+// Course ids in the Figure 2(a) document:
+constexpr char kDataMining[] = "d0.0.1.1.0";
+constexpr char kAlgorithms[] = "d0.0.1.1.1";
+constexpr char kAi[] = "d0.0.1.1.2";
+
+class Figure2aSearch : public ::testing::Test {
+ protected:
+  void SetUp() override { index_ = BuildIndexFromXml(data::Figure2aXml()); }
+  XmlIndex index_;
+};
+
+TEST_F(Figure2aSearch, Example3ImperfectQueryReturnsLceCourses) {
+  // Q4 = {student, karen, mike, john, harry}, s=2. harry is absent; the
+  // response is the three courses containing at least one of the students,
+  // surfaced as LCE nodes (Figure 2(b)).
+  SearchOptions options;
+  options.s = 2;
+  SearchResponse response =
+      SearchOrDie(index_, "student karen mike john harry", options);
+
+  std::set<std::string> ids;
+  for (const GksNode& node : response.nodes) ids.insert(node.id.ToString());
+  EXPECT_TRUE(ids.count(kDataMining)) << "Data Mining course missing";
+  EXPECT_TRUE(ids.count(kAlgorithms)) << "Algorithms course missing";
+  EXPECT_TRUE(ids.count(kAi)) << "AI course missing";
+
+  // Every returned node must be an LCE here (courses are entity nodes).
+  for (const GksNode& node : response.nodes) {
+    EXPECT_TRUE(node.is_lce) << node.id.ToString();
+  }
+
+  // Data Mining holds karen+mike+john+student tags: most keywords, ranked
+  // first.
+  ASSERT_FALSE(response.nodes.empty());
+  EXPECT_EQ(response.nodes[0].id.ToString(), kDataMining);
+  EXPECT_EQ(response.nodes[0].keyword_count, 4u);
+}
+
+TEST_F(Figure2aSearch, Example3DiExposesCourseNames) {
+  SearchOptions options;
+  options.s = 2;
+  options.di_top_m = 5;
+  SearchResponse response =
+      SearchOrDie(index_, "student karen mike john harry", options);
+
+  std::set<std::string> di_values;
+  for (const DiKeyword& di : response.insights) di_values.insert(di.value);
+  EXPECT_TRUE(di_values.count("Data Mining")) << "DI must expose the course";
+  EXPECT_TRUE(di_values.count("Algorithms"));
+  EXPECT_TRUE(di_values.count("AI"));
+
+  // DI semantics: the schema path labels the value (Course -> Name).
+  for (const DiKeyword& di : response.insights) {
+    if (di.value == "Data Mining") {
+      ASSERT_GE(di.path.size(), 2u);
+      EXPECT_EQ(di.path.front(), "Course");
+      EXPECT_EQ(di.path.back(), "Name");
+    }
+  }
+
+  // "Data Mining" belongs to the top-ranked LCE, so it outweighs the rest.
+  ASSERT_FALSE(response.insights.empty());
+  EXPECT_EQ(response.insights[0].value, "Data Mining");
+}
+
+TEST_F(Figure2aSearch, DiExcludesQueryKeywords) {
+  // Student name values (karen, mike, ...) are attribute-directory entries
+  // but contain query keywords, so they never appear as DI.
+  SearchOptions options;
+  options.s = 1;
+  SearchResponse response = SearchOrDie(index_, "karen mike", options);
+  for (const DiKeyword& di : response.insights) {
+    EXPECT_EQ(di.value.find("Karen"), std::string::npos) << di.value;
+    EXPECT_EQ(di.value.find("Mike"), std::string::npos) << di.value;
+  }
+}
+
+TEST_F(Figure2aSearch, Example4PerfectQueryFindsDataMiningCourse) {
+  // Q5 = {student, karen, mike, john}, s=|Q|: the only node whose subtree
+  // has all four keywords *below the course level* is the Data Mining
+  // course — GKS returns the LCE <Course>, not the bare <Students> node,
+  // exposing <Course: Name: 'Data Mining'> as context.
+  SearchOptions options;
+  options.s = 0;  // s = |Q|
+  SearchResponse response =
+      SearchOrDie(index_, "student karen mike john", options);
+  ASSERT_FALSE(response.nodes.empty());
+  EXPECT_EQ(response.nodes[0].id.ToString(), kDataMining);
+  EXPECT_TRUE(response.nodes[0].is_lce);
+}
+
+TEST_F(Figure2aSearch, RefinementSuggestsObservedSubsets) {
+  SearchOptions options;
+  options.s = 2;
+  SearchResponse response =
+      SearchOrDie(index_, "karen mike john harry", options);
+  ASSERT_FALSE(response.refinements.empty());
+  // harry matches nothing, so no suggestion may contain it; subsets like
+  // {karen, mike} / {karen, john} do occur.
+  for (const RefinementSuggestion& suggestion : response.refinements) {
+    for (const std::string& keyword : suggestion.keywords) {
+      EXPECT_NE(keyword, "harry");
+    }
+  }
+  bool karen_mike = false;
+  for (const RefinementSuggestion& suggestion : response.refinements) {
+    std::set<std::string> kws(suggestion.keywords.begin(),
+                              suggestion.keywords.end());
+    if (kws.count("karen") && kws.count("mike")) karen_mike = true;
+  }
+  EXPECT_TRUE(karen_mike);
+}
+
+TEST_F(Figure2aSearch, RecursiveDiTerminates) {
+  GksSearcher searcher(&index_);
+  SearchOptions options;
+  options.s = 1;
+  Result<Query> query = Query::Parse("karen mike");
+  ASSERT_TRUE(query.ok());
+  auto rounds = searcher.DiscoverRecursiveDi(*query, options, 3);
+  ASSERT_TRUE(rounds.ok());
+  ASSERT_FALSE(rounds->empty());
+  // Round 0 must expose the course names the students are enrolled in.
+  std::set<std::string> values;
+  for (const DiKeyword& di : (*rounds)[0]) values.insert(di.value);
+  EXPECT_TRUE(values.count("Data Mining") || values.count("AI"));
+}
+
+TEST_F(Figure2aSearch, PhraseKeywordMatchesSingleNode) {
+  // "Data Mining" as one keyword: both tokens occur at the same Name node.
+  SearchOptions options;
+  options.s = 1;
+  SearchResponse response = SearchOrDie(index_, "\"Data Mining\"", options);
+  ASSERT_FALSE(response.nodes.empty());
+  // The LCE of the Name attribute node is the course itself.
+  EXPECT_EQ(response.nodes[0].id.ToString(), kDataMining);
+  // A phrase whose tokens never co-occur at one node matches nothing.
+  SearchResponse none = SearchOrDie(index_, "\"Karen Algorithms\"", options);
+  EXPECT_TRUE(none.nodes.empty());
+}
+
+TEST_F(Figure2aSearch, DescribeNodeMentionsTagAndAttribute) {
+  SearchOptions options;
+  options.s = 0;
+  SearchResponse response =
+      SearchOrDie(index_, "karen mike john", options);
+  ASSERT_FALSE(response.nodes.empty());
+  std::string description = DescribeNode(index_, response.nodes[0]);
+  EXPECT_NE(description.find("Course"), std::string::npos) << description;
+  EXPECT_NE(description.find("Data Mining"), std::string::npos) << description;
+  EXPECT_NE(description.find("LCE"), std::string::npos) << description;
+}
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,143 @@
+// The dataset generators must produce well-formed XML, be deterministic
+// per seed, scale with their size knobs, and exhibit the structural
+// properties the benches rely on.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "data/dblp_gen.h"
+#include "data/figures.h"
+#include "data/mondial_gen.h"
+#include "data/names.h"
+#include "data/nasa_gen.h"
+#include "data/plays_gen.h"
+#include "data/protein_gen.h"
+#include "data/random_tree_gen.h"
+#include "data/sigmod_gen.h"
+#include "data/treebank_gen.h"
+#include "tests/test_util.h"
+#include "xml/dom_builder.h"
+
+namespace gks::data {
+namespace {
+
+void ExpectWellFormed(const std::string& xml, const char* label) {
+  Result<xml::DomDocument> dom = xml::ParseDom(xml);
+  EXPECT_TRUE(dom.ok()) << label << ": " << dom.status().ToString();
+}
+
+TEST(GeneratorsTest, AllWellFormed) {
+  ExpectWellFormed(Figure1Xml(), "figure1");
+  ExpectWellFormed(Figure2aXml(), "figure2a");
+  ExpectWellFormed(GenerateDblp({.articles = 200}), "dblp");
+  ExpectWellFormed(GenerateSigmodRecord({.issues = 5}), "sigmod");
+  ExpectWellFormed(GenerateMondial({.countries = 10}), "mondial");
+  ExpectWellFormed(GenerateSwissProt({.entries = 30}), "swissprot");
+  ExpectWellFormed(GenerateInterPro({.entries = 30}), "interpro");
+  ExpectWellFormed(GenerateProteinSequence({.entries = 30}), "protein");
+  ExpectWellFormed(GenerateNasa({.datasets = 20}), "nasa");
+  ExpectWellFormed(GenerateTreebank({.sentences = 30}), "treebank");
+  for (const auto& [name, xml] : GeneratePlays({.plays = 2})) {
+    ExpectWellFormed(xml, name.c_str());
+  }
+  for (uint32_t seed = 1; seed <= 5; ++seed) {
+    ExpectWellFormed(GenerateRandomTree({.seed = seed}), "random");
+  }
+}
+
+TEST(GeneratorsTest, DeterministicPerSeed) {
+  EXPECT_EQ(GenerateDblp({.articles = 100, .seed = 9}),
+            GenerateDblp({.articles = 100, .seed = 9}));
+  EXPECT_NE(GenerateDblp({.articles = 100, .seed = 9}),
+            GenerateDblp({.articles = 100, .seed = 10}));
+  EXPECT_EQ(GenerateRandomTree({.seed = 3}), GenerateRandomTree({.seed = 3}));
+}
+
+TEST(GeneratorsTest, SizeScalesWithKnob) {
+  EXPECT_GT(GenerateDblp({.articles = 2000}).size(),
+            2 * GenerateDblp({.articles = 500}).size());
+  EXPECT_GT(GenerateMondial({.countries = 100}).size(),
+            2 * GenerateMondial({.countries = 20}).size());
+}
+
+TEST(GeneratorsTest, TreebankReachesConfiguredDepth) {
+  Result<xml::DomDocument> dom =
+      xml::ParseDom(GenerateTreebank({.sentences = 250, .max_depth = 24}));
+  ASSERT_TRUE(dom.ok());
+  EXPECT_GE(dom->root()->SubtreeDepth(), 22u);
+}
+
+TEST(GeneratorsTest, DblpAuthorsComeFromThePool) {
+  // Every generated author must be a pool identity (so bench queries built
+  // from the pool actually hit).
+  Result<xml::DomDocument> dom =
+      xml::ParseDom(GenerateDblp({.articles = 50}));
+  ASSERT_TRUE(dom.ok());
+  const auto& pool = AuthorPool();
+  for (const auto& entry : dom->root()->children()) {
+    for (const auto& field : entry->children()) {
+      if (!field->is_element() || field->name() != "author") continue;
+      std::string name = field->InnerText();
+      bool known = false;
+      for (const std::string& candidate : pool) {
+        if (candidate == name) {
+          known = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(known) << name;
+    }
+  }
+}
+
+TEST(GeneratorsTest, DblpNoDuplicateAuthorsPerEntry) {
+  Result<xml::DomDocument> dom =
+      xml::ParseDom(GenerateDblp({.articles = 300}));
+  ASSERT_TRUE(dom.ok());
+  for (const auto& entry : dom->root()->children()) {
+    std::vector<std::string> authors;
+    for (const auto& field : entry->children()) {
+      if (field->is_element() && field->name() == "author") {
+        authors.push_back(field->InnerText());
+      }
+    }
+    for (size_t i = 0; i < authors.size(); ++i) {
+      for (size_t j = i + 1; j < authors.size(); ++j) {
+        EXPECT_NE(authors[i], authors[j]);
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, PoolHeadMatchesPaperNames) {
+  const auto& pool = AuthorPool();
+  ASSERT_GE(pool.size(), 4u);
+  EXPECT_EQ(pool[0], "Peter Buneman");
+  EXPECT_EQ(pool[1], "Wenfei Fan");
+  EXPECT_EQ(pool[2], "Scott Weinstein");
+  EXPECT_EQ(pool[3], "Prithviraj Banerjee");
+}
+
+TEST(GeneratorsTest, PlaysAreDistinctDocuments) {
+  auto plays = GeneratePlays({.plays = 3});
+  ASSERT_EQ(plays.size(), 3u);
+  EXPECT_NE(plays[0].first, plays[1].first);
+  EXPECT_NE(plays[0].second, plays[1].second);
+}
+
+TEST(GeneratorsTest, MondialHasEntityCountries) {
+  XmlIndex index =
+      gks::testing::BuildIndexFromXml(GenerateMondial({.countries = 20}));
+  // Countries carry attribute leaves + repeated religion/language/province
+  // groups: they must categorize as entities.
+  uint32_t country_tag = 0;
+  ASSERT_TRUE(index.nodes.FindTag("country", &country_tag));
+  size_t entity_countries = 0;
+  index.nodes.ForEach([&](DeweySpan, const NodeInfo& info) {
+    if (info.tag_id == country_tag && info.is_entity()) ++entity_countries;
+  });
+  EXPECT_EQ(entity_countries, 20u);
+}
+
+}  // namespace
+}  // namespace gks::data

@@ -1,0 +1,124 @@
+#include "dewey/dewey_id.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gks {
+namespace {
+
+DeweyId Id(std::string_view text) {
+  Result<DeweyId> id = DeweyId::Parse(text);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  return std::move(id).value();
+}
+
+TEST(DeweyIdTest, ParseAndFormat) {
+  EXPECT_EQ(Id("3.0.1.2").ToString(), "d3.0.1.2");
+  EXPECT_EQ(Id("d0").ToString(), "d0");
+  EXPECT_EQ(Id("0.2.3").components(), (std::vector<uint32_t>{0, 2, 3}));
+}
+
+TEST(DeweyIdTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(DeweyId::Parse("").ok());
+  EXPECT_FALSE(DeweyId::Parse("1..2").ok());
+  EXPECT_FALSE(DeweyId::Parse("1.2.").ok());
+  EXPECT_FALSE(DeweyId::Parse("1.x").ok());
+  EXPECT_FALSE(DeweyId::Parse("99999999999").ok());
+}
+
+TEST(DeweyIdTest, ChildAndParent) {
+  DeweyId node = Id("0.2");
+  EXPECT_EQ(node.Child(3), Id("0.2.3"));
+  EXPECT_EQ(node.Child(3).Parent(), node);
+  EXPECT_TRUE(Id("0").Parent().empty());
+}
+
+TEST(DeweyIdTest, AncestorRelations) {
+  EXPECT_TRUE(Id("0.1").IsAncestorOf(Id("0.1.1.0")));
+  EXPECT_FALSE(Id("0.1").IsAncestorOf(Id("0.1")));   // strict
+  EXPECT_TRUE(Id("0.1").IsSelfOrAncestorOf(Id("0.1")));
+  EXPECT_FALSE(Id("0.2").IsAncestorOf(Id("0.1.5")));
+  EXPECT_FALSE(Id("0.1.1").IsAncestorOf(Id("0.1")));  // descendant
+}
+
+TEST(DeweyIdTest, CommonPrefixIsLca) {
+  EXPECT_EQ(Id("0.1.1.0").CommonPrefix(Id("0.1.2.4")), Id("0.1"));
+  EXPECT_EQ(Id("0.1").CommonPrefix(Id("0.1.9")), Id("0.1"));  // ancestor
+  EXPECT_TRUE(Id("0.5").CommonPrefix(Id("1.5")).empty());     // cross-doc
+}
+
+TEST(DeweyIdTest, CompareAncestorBeforeDescendant) {
+  EXPECT_LT(Id("0.1").Compare(Id("0.1.0")), 0);
+  EXPECT_GT(Id("0.2").Compare(Id("0.1.9.9")), 0);
+  EXPECT_EQ(Id("0.1.2").Compare(Id("0.1.2")), 0);
+}
+
+TEST(DeweyIdTest, DepthAndDocId) {
+  EXPECT_EQ(Id("7.0.1").doc_id(), 7u);
+  EXPECT_EQ(Id("7.0.1").depth(), 2u);
+  EXPECT_EQ(Id("7").depth(), 0u);
+}
+
+TEST(DeweyIdTest, EncodeDecodeRoundTrip) {
+  for (const char* text : {"0", "3.0.1.2", "1.0.0.0.0.0", "4294967295.7"}) {
+    DeweyId original = Id(text);
+    std::string buf;
+    original.EncodeTo(&buf);
+    std::string_view view = buf;
+    DeweyId decoded;
+    ASSERT_TRUE(DeweyId::DecodeFrom(&view, &decoded).ok());
+    EXPECT_EQ(decoded, original);
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+TEST(DeweyIdTest, DecodeRejectsTruncated) {
+  DeweyId original = Id("1.2.3");
+  std::string buf;
+  original.EncodeTo(&buf);
+  buf.resize(buf.size() - 1);
+  std::string_view view = buf;
+  DeweyId decoded;
+  EXPECT_FALSE(DeweyId::DecodeFrom(&view, &decoded).ok());
+}
+
+// Property: sorting Dewey ids equals pre-order traversal order of the tree
+// they were generated from.
+TEST(DeweyIdProperty, SortOrderIsPreorder) {
+  std::mt19937 rng(99);
+  // Generate a random tree by expanding ids breadth-first; remember the
+  // pre-order sequence produced by explicit DFS.
+  std::vector<DeweyId> preorder;
+  struct Frame {
+    DeweyId id;
+    int children;
+  };
+  std::vector<Frame> stack{{DeweyId({0, 0}), 3}};
+  while (!stack.empty() && preorder.size() < 500) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    preorder.push_back(frame.id);
+    int kids = static_cast<int>(rng() % 4);
+    if (frame.id.components().size() > 6) kids = 0;
+    // Push children right-to-left so DFS visits them in ordinal order.
+    for (int i = kids - 1; i >= 0; --i) {
+      stack.push_back({frame.id.Child(static_cast<uint32_t>(i)), 0});
+    }
+  }
+  std::vector<DeweyId> shuffled = preorder;
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, preorder);
+}
+
+TEST(DeweyIdProperty, HashEqualForEqualIds) {
+  DeweyIdHash hash;
+  EXPECT_EQ(hash(Id("1.2.3")), hash(Id("1.2.3")));
+  EXPECT_NE(hash(Id("1.2.3")), hash(Id("1.2.4")));  // overwhelmingly likely
+}
+
+}  // namespace
+}  // namespace gks

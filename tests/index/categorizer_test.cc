@@ -1,0 +1,179 @@
+#include "index/categorizer.h"
+
+#include <map>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "data/figures.h"
+#include "index/index_builder.h"
+#include "index/node_info_table.h"
+#include "index/xml_index.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+
+// Category string of the first node whose tag matches, looked up by id.
+std::string FlagsOf(const XmlIndex& index, const std::string& dewey) {
+  Result<DeweyId> id = DeweyId::Parse(dewey);
+  EXPECT_TRUE(id.ok());
+  const NodeInfo* info = index.nodes.Find(*id);
+  if (info == nullptr) return "missing";
+  return NodeFlagsToString(info->flags);
+}
+
+// Figure 2(a) layout (attribute-as-element conversion is irrelevant here —
+// the document is element-structured):
+//   d0.0        Dept
+//   d0.0.0      Dept_Name "CS"
+//   d0.0.1      Area (Databases)
+//   d0.0.1.0    Name
+//   d0.0.1.1    Courses
+//   d0.0.1.1.0  Course (Data Mining)  -> .0 Name, .1 Students -> .k Student
+//   d0.0.2      Area (Theory)
+class Figure2aCategorization : public ::testing::Test {
+ protected:
+  void SetUp() override { index_ = BuildIndexFromXml(data::Figure2aXml()); }
+  XmlIndex index_;
+};
+
+TEST_F(Figure2aCategorization, DeptIsEntity) {
+  // Dept has the Dept_Name attribute + the repeated <Area> group.
+  EXPECT_EQ(FlagsOf(index_, "0.0"), "EN");
+}
+
+TEST_F(Figure2aCategorization, DeptNameIsAttribute) {
+  EXPECT_EQ(FlagsOf(index_, "0.0.0"), "AN");
+}
+
+TEST_F(Figure2aCategorization, AreaIsEntityAndRepeating) {
+  // Sec. 2.2: "<Course> nodes are both entity nodes as well as repeating
+  // node within the sub-tree of node <Area>"; Areas repeat under Dept.
+  EXPECT_EQ(FlagsOf(index_, "0.0.1"), "RN+EN");
+  EXPECT_EQ(FlagsOf(index_, "0.0.2"), "RN+EN");
+}
+
+TEST_F(Figure2aCategorization, CoursesIsConnecting) {
+  EXPECT_EQ(FlagsOf(index_, "0.0.1.1"), "CN");
+}
+
+TEST_F(Figure2aCategorization, CourseIsEntityAndRepeating) {
+  EXPECT_EQ(FlagsOf(index_, "0.0.1.1.0"), "RN+EN");
+  EXPECT_EQ(FlagsOf(index_, "0.0.1.1.1"), "RN+EN");
+  EXPECT_EQ(FlagsOf(index_, "0.0.1.1.2"), "RN+EN");
+}
+
+TEST_F(Figure2aCategorization, CourseNameIsAttribute) {
+  EXPECT_EQ(FlagsOf(index_, "0.0.1.1.0.0"), "AN");
+}
+
+TEST_F(Figure2aCategorization, StudentsIsConnecting) {
+  EXPECT_EQ(FlagsOf(index_, "0.0.1.1.0.1"), "CN");
+}
+
+TEST_F(Figure2aCategorization, StudentIsRepeating) {
+  // "A node that directly contains its value and also has siblings with
+  // the same XML tag is considered a repeating node (and not an attribute
+  // node)".
+  EXPECT_EQ(FlagsOf(index_, "0.0.1.1.0.1.0"), "RN");
+  EXPECT_EQ(FlagsOf(index_, "0.0.1.1.0.1.1"), "RN");
+}
+
+TEST_F(Figure2aCategorization, IsEntityApiReturnsChildCount) {
+  Result<DeweyId> course = DeweyId::Parse("0.0.1.1.0");
+  ASSERT_TRUE(course.ok());
+  // Course has 2 direct children: Name and Students.
+  EXPECT_EQ(index_.nodes.IsEntity(DeweySpan::Of(*course)), 2u);
+  Result<DeweyId> students = DeweyId::Parse("0.0.1.1.0.1");
+  ASSERT_TRUE(students.ok());
+  EXPECT_EQ(index_.nodes.IsEntity(DeweySpan::Of(*students)), 0u);
+  EXPECT_EQ(index_.nodes.IsElement(DeweySpan::Of(*students)), 3u);
+}
+
+TEST_F(Figure2aCategorization, CategoryCountsAddUp) {
+  const NodeInfoTable::CategoryCounts& counts = index_.nodes.counts();
+  // 23 elements: Dept, Dept_Name, 2 Area, 2 Name(Area), 2 Courses,
+  // 4 Course, 4 Name(Course), 4 Students, 11 Student = let the total
+  // itself assert consistency instead of hand-counting:
+  EXPECT_EQ(counts.total, index_.catalog.TotalElements());
+  EXPECT_GT(counts.entity, 0u);
+  EXPECT_GT(counts.attribute, 0u);
+  EXPECT_GT(counts.repeating, 0u);
+  EXPECT_GT(counts.connecting, 0u);
+}
+
+// The paper's SIGMOD Record observation: an entity-shaped node with only a
+// single repeated-type child is demoted to connecting.
+TEST(CategorizerEdgeCases, SingleChildGroupIsNotEntity) {
+  XmlIndex index = BuildIndexFromXml(R"(<db>
+    <article><author>Solo Writer</author><title>one</title></article>
+    <article><author>A B</author><author>C D</author><title>two</title></article>
+  </db>)");
+  // d0.0.0: single-author article: no repeating group below, so no entity
+  // flag — only RN (it repeats under <db>). The paper reports the same
+  // demotion for single-author SIGMOD Record articles (Sec. 7.2).
+  EXPECT_EQ(FlagsOf(index, "0.0.0"), "RN");
+  // d0.0.1: two authors -> EN (+RN: article repeats under db).
+  EXPECT_EQ(FlagsOf(index, "0.0.1"), "RN+EN");
+}
+
+TEST(CategorizerEdgeCases, RootLeafTextDocument) {
+  XmlIndex index = BuildIndexFromXml("<r>hello world</r>");
+  EXPECT_EQ(FlagsOf(index, "0.0"), "AN");
+}
+
+TEST(CategorizerEdgeCases, EmptyElementIsConnecting) {
+  XmlIndex index = BuildIndexFromXml("<r><empty/><leaf>x</leaf></r>");
+  EXPECT_EQ(FlagsOf(index, "0.0.0"), "CN");
+  EXPECT_EQ(FlagsOf(index, "0.0.1"), "AN");
+}
+
+TEST(CategorizerEdgeCases, EntityNeedsAttributeOutsideRepeatingGroup) {
+  // The only attribute lives inside the repeating nodes: r is NOT an
+  // entity (Def. 2.1.3: a in A must not occur in any repeating node u).
+  XmlIndex index = BuildIndexFromXml(R"(<r>
+    <item><name>x</name></item>
+    <item><name>y</name></item>
+  </r>)");
+  EXPECT_EQ(FlagsOf(index, "0.0"), "CN");
+}
+
+TEST(CategorizerEdgeCases, DeepRepeatingGroupWithSeparateAttribute) {
+  // Repeating group two levels down, attribute on another branch: the LCA
+  // of both is r, so r is an entity even without *direct* repeated
+  // children (mirrors <Area> in Figure 2(a)).
+  XmlIndex index = BuildIndexFromXml(R"(<r>
+    <label>top</label>
+    <wrap><item>a</item><item>b</item></wrap>
+  </r>)");
+  EXPECT_EQ(FlagsOf(index, "0.0"), "EN");
+  EXPECT_EQ(FlagsOf(index, "0.0.1"), "CN");  // wrap: group but no attribute
+}
+
+TEST(CategorizerEdgeCases, GroupAndAttributeInSameBranchOnly) {
+  // Both the free attribute and the repeating group live inside <inner>;
+  // their LCA is <inner>, so <outer> must not be an entity.
+  XmlIndex index = BuildIndexFromXml(R"(<outer>
+    <inner>
+      <label>x</label>
+      <item>a</item><item>b</item>
+    </inner>
+  </outer>)");
+  EXPECT_EQ(FlagsOf(index, "0.0"), "CN");   // outer
+  EXPECT_EQ(FlagsOf(index, "0.0.0"), "EN"); // inner
+}
+
+TEST(CategorizerEdgeCases, XmlAttributesActAsAttributeNodes) {
+  // name="..." becomes a child element and plays the attribute-node role.
+  XmlIndex index = BuildIndexFromXml(R"(<r>
+    <course name="Data Mining"><s>Karen</s><s>Mike</s></course>
+    <course name="AI"><s>Serena</s><s>Karen</s></course>
+  </r>)");
+  EXPECT_EQ(FlagsOf(index, "0.0.0"), "RN+EN");   // course
+  EXPECT_EQ(FlagsOf(index, "0.0.0.0"), "AN");    // synthesized name element
+}
+
+}  // namespace
+}  // namespace gks

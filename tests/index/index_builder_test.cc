@@ -1,0 +1,137 @@
+#include "index/index_builder.h"
+
+#include "gtest/gtest.h"
+#include "data/figures.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromDocs;
+using gks::testing::BuildIndexFromXml;
+
+TEST(IndexBuilderTest, TextKeywordsPostAtContainingElement) {
+  XmlIndex index = BuildIndexFromXml("<r><s>Karen</s><s>Mike</s></r>");
+  const PostingList* karen = index.inverted.Find("karen");
+  ASSERT_NE(karen, nullptr);
+  ASSERT_EQ(karen->size(), 1u);
+  // d0.0 = root <r>, d0.0.0 = first <s>.
+  EXPECT_EQ(karen->IdAt(0).ToString(), "d0.0.0");
+  const PostingList* mike = index.inverted.Find("mike");
+  ASSERT_NE(mike, nullptr);
+  EXPECT_EQ(mike->IdAt(0).ToString(), "d0.0.1");
+}
+
+TEST(IndexBuilderTest, TermsAreAnalyzed) {
+  XmlIndex index =
+      BuildIndexFromXml("<r><t>The Databases of Students</t></r>");
+  EXPECT_EQ(index.inverted.Find("the"), nullptr);       // stop word
+  EXPECT_EQ(index.inverted.Find("databases"), nullptr); // unstemmed form
+  EXPECT_NE(index.inverted.Find("databas"), nullptr);   // stem
+  EXPECT_NE(index.inverted.Find("student"), nullptr);
+}
+
+TEST(IndexBuilderTest, TagNamesAreIndexed) {
+  XmlIndex index = BuildIndexFromXml("<r><Student>Karen</Student></r>");
+  const PostingList* tag = index.inverted.Find("student");
+  ASSERT_NE(tag, nullptr);
+  EXPECT_EQ(tag->IdAt(0).ToString(), "d0.0.0");
+}
+
+TEST(IndexBuilderTest, MultiTokenTagIndexesEachToken) {
+  XmlIndex index = BuildIndexFromXml("<r><Dept_Name>CS</Dept_Name></r>");
+  EXPECT_NE(index.inverted.Find("dept"), nullptr);
+  EXPECT_NE(index.inverted.Find("name"), nullptr);
+}
+
+TEST(IndexBuilderTest, XmlAttributesBecomeSearchable) {
+  XmlIndex index = BuildIndexFromXml(R"(<r><c name="Data Mining"/></r>)");
+  const PostingList* mining = index.inverted.Find("mine");
+  ASSERT_NE(mining, nullptr);
+  // Synthesized attribute element is child 0 of <c> (d0.0.0).
+  EXPECT_EQ(mining->IdAt(0).ToString(), "d0.0.0.0");
+}
+
+TEST(IndexBuilderTest, PostingListsSortedAndDeduped) {
+  // "x" occurs twice in one text node and in mixed content that arrives
+  // after a child element — the finalized list must still be sorted and
+  // duplicate-free.
+  XmlIndex index =
+      BuildIndexFromXml("<r><a><b>x</b>x x</a><c>x</c></r>");
+  const PostingList* list = index.inverted.Find("x");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->size(), 3u);  // <a> (mixed text), <b>, <c>
+  for (size_t i = 1; i < list->size(); ++i) {
+    EXPECT_LT(list->At(i - 1).Compare(list->At(i)), 0);
+  }
+}
+
+TEST(IndexBuilderTest, MultipleDocumentsGetDistinctDocIds) {
+  XmlIndex index = BuildIndexFromDocs({{"one.xml", "<r><t>karen</t></r>"},
+                                       {"two.xml", "<r><t>karen</t></r>"}});
+  EXPECT_EQ(index.catalog.document_count(), 2u);
+  const PostingList* list = index.inverted.Find("karen");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ(list->IdAt(0).doc_id(), 0u);
+  EXPECT_EQ(list->IdAt(1).doc_id(), 1u);
+}
+
+TEST(IndexBuilderTest, CatalogTracksStats) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml(), "uni.xml");
+  const Catalog::DocumentInfo& doc = index.catalog.document(0);
+  EXPECT_EQ(doc.name, "uni.xml");
+  // 1 Dept + 1 Dept_Name + 2 Area + 2 Name + 2 Courses + 4 Course +
+  // 4 Name + 4 Students + 11 Student = 31 elements.
+  EXPECT_EQ(doc.element_count, 31u);
+  EXPECT_GE(doc.max_depth, 6u);       // Dept/Area/Courses/Course/Students/Student/text
+  EXPECT_GT(doc.text_bytes, 0u);
+}
+
+TEST(IndexBuilderTest, AttrDirectoryHoldsLeafValues) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml());
+  ASSERT_GT(index.attributes.size(), 0u);
+  // Every directory entry must be a known node with a stored value.
+  for (size_t i = 0; i < index.attributes.size(); ++i) {
+    const NodeInfo* info = index.nodes.Find(index.attributes.IdAt(i));
+    ASSERT_NE(info, nullptr);
+    EXPECT_NE(info->value_id, kNoValue);
+    EXPECT_EQ(info->value_id, index.attributes.ValueAt(i));
+  }
+}
+
+TEST(IndexBuilderTest, ParseErrorPropagatesAndBuilderSurvives) {
+  IndexBuilder builder;
+  EXPECT_FALSE(builder.AddDocument("<a><b></a>", "bad.xml").ok());
+  EXPECT_TRUE(builder.AddDocument("<a><t>ok</t></a>", "good.xml").ok());
+  Result<XmlIndex> index = std::move(builder).Finalize();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->catalog.document_count(), 2u);  // bad doc keeps its slot
+  ASSERT_NE(index->inverted.Find("ok"), nullptr);
+  EXPECT_EQ(index->inverted.Find("ok")->IdAt(0).doc_id(), 1u);
+}
+
+TEST(IndexBuilderTest, FinalizeTwiceFails) {
+  IndexBuilder builder;
+  ASSERT_TRUE(builder.AddDocument("<a><t>x</t></a>", "a.xml").ok());
+  Result<XmlIndex> first = std::move(builder).Finalize();
+  ASSERT_TRUE(first.ok());
+  Result<XmlIndex> second = std::move(builder).Finalize();
+  EXPECT_FALSE(second.ok());
+}
+
+TEST(IndexBuilderTest, LongValuesNotStoredButIndexed) {
+  IndexBuilderOptions options;
+  options.max_stored_value_bytes = 8;
+  IndexBuilder builder(options);
+  ASSERT_TRUE(
+      builder.AddDocument("<r><t>exceedingly verbose value</t></r>", "a.xml")
+          .ok());
+  Result<XmlIndex> index = std::move(builder).Finalize();
+  ASSERT_TRUE(index.ok());
+  EXPECT_NE(index->inverted.Find("verbos"), nullptr);
+  EXPECT_EQ(index->attributes.size(), 0u);  // too long for the value pool
+}
+
+}  // namespace
+}  // namespace gks

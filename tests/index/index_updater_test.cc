@@ -1,0 +1,119 @@
+#include "index/index_updater.h"
+
+#include "gtest/gtest.h"
+#include "core/searcher.h"
+#include "data/figures.h"
+#include "index/index_builder.h"
+#include "index/serialization.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromDocs;
+using gks::testing::BuildIndexFromXml;
+using gks::testing::SearchOrDie;
+
+// The incremental result must be indistinguishable from a fresh build over
+// the same documents.
+void ExpectEquivalent(const XmlIndex& incremental, const XmlIndex& fresh,
+                      const std::string& query_text, uint32_t s) {
+  SearchOptions options;
+  options.s = s;
+  SearchResponse a = SearchOrDie(incremental, query_text, options);
+  SearchResponse b = SearchOrDie(fresh, query_text, options);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size()) << query_text;
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].id, b.nodes[i].id) << query_text << " #" << i;
+    EXPECT_DOUBLE_EQ(a.nodes[i].rank, b.nodes[i].rank);
+    EXPECT_EQ(a.nodes[i].is_lce, b.nodes[i].is_lce);
+  }
+  ASSERT_EQ(a.insights.size(), b.insights.size());
+  for (size_t i = 0; i < a.insights.size(); ++i) {
+    EXPECT_EQ(a.insights[i].value, b.insights[i].value);
+    EXPECT_DOUBLE_EQ(a.insights[i].weight, b.insights[i].weight);
+  }
+}
+
+constexpr const char* kDocA = "<r><s>Karen</s><s>Mike</s><t>alpha</t></r>";
+constexpr const char* kDocB = "<r><s>Karen</s><s>John</s><t>beta</t></r>";
+constexpr const char* kDocC = "<r><s>Serena</s><t>alpha beta</t></r>";
+
+TEST(IndexUpdaterTest, AppendMatchesFreshBuild) {
+  XmlIndex incremental = BuildIndexFromXml(kDocA, "a.xml");
+  ASSERT_TRUE(AppendDocument(&incremental, kDocB, "b.xml").ok());
+  ASSERT_TRUE(AppendDocument(&incremental, kDocC, "c.xml").ok());
+
+  XmlIndex fresh = BuildIndexFromDocs(
+      {{"a.xml", kDocA}, {"b.xml", kDocB}, {"c.xml", kDocC}});
+
+  EXPECT_EQ(incremental.catalog.document_count(), 3u);
+  EXPECT_EQ(incremental.nodes.size(), fresh.nodes.size());
+  EXPECT_EQ(incremental.inverted.posting_count(),
+            fresh.inverted.posting_count());
+  EXPECT_EQ(incremental.attributes.size(), fresh.attributes.size());
+
+  ExpectEquivalent(incremental, fresh, "karen", 1);
+  ExpectEquivalent(incremental, fresh, "karen mike john", 2);
+  ExpectEquivalent(incremental, fresh, "alpha beta", 1);
+  ExpectEquivalent(incremental, fresh, "alpha beta", 2);
+}
+
+TEST(IndexUpdaterTest, AppendAfterLoadFromDisk) {
+  XmlIndex original = BuildIndexFromXml(kDocA, "a.xml");
+  Result<XmlIndex> loaded = DeserializeIndex(SerializeIndex(original));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(AppendDocument(&*loaded, kDocB, "b.xml").ok());
+
+  XmlIndex fresh = BuildIndexFromDocs({{"a.xml", kDocA}, {"b.xml", kDocB}});
+  ExpectEquivalent(*loaded, fresh, "karen", 1);
+  ExpectEquivalent(*loaded, fresh, "karen john", 2);
+
+  // And the updated index serializes/round-trips cleanly again.
+  Result<XmlIndex> again = DeserializeIndex(SerializeIndex(*loaded));
+  ASSERT_TRUE(again.ok());
+  ExpectEquivalent(*again, fresh, "karen", 1);
+}
+
+TEST(IndexUpdaterTest, AppendLargerDocument) {
+  XmlIndex incremental = BuildIndexFromXml("<r><t>seed</t></r>", "seed.xml");
+  ASSERT_TRUE(
+      AppendDocument(&incremental, data::Figure2aXml(), "uni.xml").ok());
+
+  SearchOptions options;
+  options.s = 2;
+  SearchResponse response =
+      SearchOrDie(incremental, "karen mike john", options);
+  ASSERT_FALSE(response.nodes.empty());
+  EXPECT_EQ(response.nodes[0].id.doc_id(), 1u);
+  EXPECT_TRUE(response.nodes[0].is_lce);
+  // DI still resolves tags/values through the remapped dictionaries.
+  bool found_dm = false;
+  for (const DiKeyword& di : response.insights) {
+    if (di.value == "Data Mining") found_dm = true;
+  }
+  EXPECT_TRUE(found_dm);
+}
+
+TEST(IndexUpdaterTest, MalformedAppendLeavesIndexUsable) {
+  XmlIndex incremental = BuildIndexFromXml(kDocA, "a.xml");
+  uint64_t postings_before = incremental.inverted.posting_count();
+  EXPECT_FALSE(AppendDocument(&incremental, "<r><broken>", "bad.xml").ok());
+  EXPECT_EQ(incremental.inverted.posting_count(), postings_before);
+  SearchOptions options;
+  options.s = 1;
+  SearchResponse response = SearchOrDie(incremental, "karen", options);
+  EXPECT_FALSE(response.nodes.empty());
+}
+
+TEST(IndexUpdaterTest, ValueInterningDedupsAcrossAppends) {
+  XmlIndex incremental = BuildIndexFromXml(kDocA, "a.xml");
+  size_t values_before = incremental.nodes.value_count();
+  // kDocB re-uses the value "Karen"; only its new values may be added.
+  ASSERT_TRUE(AppendDocument(&incremental, kDocB, "b.xml").ok());
+  EXPECT_EQ(incremental.nodes.value_count(), values_before + 2)  // John, beta
+      << "duplicate values must be interned, not re-added";
+}
+
+}  // namespace
+}  // namespace gks

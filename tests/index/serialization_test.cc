@@ -1,0 +1,82 @@
+#include "index/serialization.h"
+
+#include "gtest/gtest.h"
+#include "data/figures.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+using gks::testing::SearchOrDie;
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml(), "uni.xml");
+  std::string bytes = SerializeIndex(original);
+  Result<XmlIndex> loaded = DeserializeIndex(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->catalog.document_count(), 1u);
+  EXPECT_EQ(loaded->catalog.document(0).name, "uni.xml");
+  EXPECT_EQ(loaded->catalog.document(0).element_count,
+            original.catalog.document(0).element_count);
+  EXPECT_EQ(loaded->nodes.size(), original.nodes.size());
+  EXPECT_EQ(loaded->nodes.counts().entity, original.nodes.counts().entity);
+  EXPECT_EQ(loaded->inverted.term_count(), original.inverted.term_count());
+  EXPECT_EQ(loaded->inverted.posting_count(),
+            original.inverted.posting_count());
+  EXPECT_EQ(loaded->attributes.size(), original.attributes.size());
+}
+
+TEST(SerializationTest, LoadedIndexAnswersQueriesIdentically) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  Result<XmlIndex> loaded = DeserializeIndex(SerializeIndex(original));
+  ASSERT_TRUE(loaded.ok());
+
+  SearchOptions options;
+  options.s = 2;
+  SearchResponse before = SearchOrDie(original, "student karen mike", options);
+  SearchResponse after = SearchOrDie(*loaded, "student karen mike", options);
+  ASSERT_EQ(before.nodes.size(), after.nodes.size());
+  for (size_t i = 0; i < before.nodes.size(); ++i) {
+    EXPECT_EQ(before.nodes[i].id, after.nodes[i].id);
+    EXPECT_DOUBLE_EQ(before.nodes[i].rank, after.nodes[i].rank);
+  }
+  ASSERT_EQ(before.insights.size(), after.insights.size());
+  for (size_t i = 0; i < before.insights.size(); ++i) {
+    EXPECT_EQ(before.insights[i].value, after.insights[i].value);
+  }
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  XmlIndex original = BuildIndexFromXml("<r><t>karen</t></r>");
+  std::string path = ::testing::TempDir() + "/gks_index_test.idx";
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  Result<XmlIndex> loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_NE(loaded->inverted.Find("karen"), nullptr);
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  EXPECT_EQ(DeserializeIndex("NOTANIDX").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DeserializeIndex("").status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationTest, RejectsTruncatedPayload) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  std::string bytes = SerializeIndex(original);
+  for (size_t cut : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    Result<XmlIndex> loaded = DeserializeIndex(bytes.substr(0, cut));
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingGarbage) {
+  XmlIndex original = BuildIndexFromXml("<r><t>x</t></r>");
+  std::string bytes = SerializeIndex(original) + "junk";
+  EXPECT_FALSE(DeserializeIndex(bytes).ok());
+}
+
+}  // namespace
+}  // namespace gks

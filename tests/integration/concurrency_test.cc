@@ -1,0 +1,67 @@
+// The index and searcher are immutable at query time: concurrent searches
+// from many threads must be safe and give identical answers.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/searcher.h"
+#include "data/dblp_gen.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+using gks::testing::SearchOrDie;
+
+TEST(ConcurrencyTest, ParallelSearchesAgree) {
+  data::DblpOptions options;
+  options.articles = 2000;
+  XmlIndex index = BuildIndexFromXml(data::GenerateDblp(options));
+
+  const std::vector<std::string> queries = {
+      "\"Peter Buneman\" \"Wenfei Fan\"",
+      "\"Scott Weinstein\"",
+      "\"Prithviraj Banerjee\" \"Karen Agarwal\"",
+      "xml keyword search",
+  };
+
+  // Reference answers, computed single-threaded.
+  std::vector<std::vector<std::string>> expected;
+  for (const std::string& query : queries) {
+    SearchOptions search;
+    search.s = 1;
+    expected.push_back(gks::testing::NodeIds(SearchOrDie(index, query, search)));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&index, &queries, &expected, &mismatches, t] {
+      GksSearcher searcher(&index);
+      for (int round = 0; round < 8; ++round) {
+        size_t pick = static_cast<size_t>(t + round) % queries.size();
+        SearchOptions search;
+        search.s = 1;
+        Result<SearchResponse> response =
+            searcher.Search(queries[pick], search);
+        if (!response.ok()) {
+          ++mismatches;
+          continue;
+        }
+        std::vector<std::string> ids;
+        for (const GksNode& node : response->nodes) {
+          ids.push_back(node.id.ToString());
+        }
+        if (ids != expected[pick]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace gks

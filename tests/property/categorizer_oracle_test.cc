@@ -1,0 +1,164 @@
+// Independent categorization oracle: classify every element of a random
+// document straight from the DOM using the literal definitions of
+// Sec. 2.2, then compare with the streaming categorizer's single-pass
+// verdicts stored in the index.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "data/random_tree_gen.h"
+#include "index/node_kind.h"
+#include "tests/test_util.h"
+#include "xml/dom_builder.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+
+struct OracleNode {
+  const xml::DomNode* dom = nullptr;
+  DeweyId id;
+  const OracleNode* parent = nullptr;
+  std::vector<OracleNode*> children;  // element children only
+  bool is_leaf_text = false;
+  uint8_t flags = 0;
+};
+
+// Builds the oracle tree with builder-compatible Dewey ids (text segments
+// consume ordinals too).
+OracleNode* BuildOracle(const xml::DomNode& dom, DeweyId id,
+                        OracleNode* parent,
+                        std::vector<std::unique_ptr<OracleNode>>* pool) {
+  pool->push_back(std::make_unique<OracleNode>());
+  OracleNode* node = pool->back().get();
+  node->dom = &dom;
+  node->id = std::move(id);
+  node->parent = parent;
+  bool has_text = false;
+  bool has_element = false;
+  uint32_t ordinal = 0;
+  for (const auto& child : dom.children()) {
+    if (child->is_text()) {
+      has_text = true;
+      ++ordinal;
+    } else {
+      has_element = true;
+      node->children.push_back(
+          BuildOracle(*child, node->id.Child(ordinal++), node, pool));
+    }
+  }
+  node->is_leaf_text = has_text && !has_element;
+  return node;
+}
+
+bool HasSameTagSibling(const OracleNode& node) {
+  if (node.parent == nullptr) return false;
+  for (const OracleNode* sibling : node.parent->children) {
+    if (sibling != &node && sibling->dom->name() == node.dom->name()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsAttribute(const OracleNode& node) {
+  return node.is_leaf_text && !HasSameTagSibling(node);
+}
+bool IsRepeating(const OracleNode& node) { return HasSameTagSibling(node); }
+
+// Free attribute nodes of v: attribute nodes in v's subtree with no
+// repeating node strictly between v and the attribute.
+void CollectFreeAttributes(const OracleNode& v, const OracleNode& current,
+                           std::vector<const OracleNode*>* out) {
+  for (const OracleNode* child : current.children) {
+    if (IsRepeating(*child)) continue;  // blocks everything below
+    if (IsAttribute(*child)) out->push_back(child);
+    CollectFreeAttributes(v, *child, out);
+  }
+}
+
+// Parents of repeating groups (>= 2 same-tag children) within v's subtree,
+// v included.
+void CollectGroupParents(const OracleNode& current,
+                         std::vector<const OracleNode*>* out) {
+  std::map<std::string, int> tags;
+  for (const OracleNode* child : current.children) {
+    ++tags[child->dom->name()];
+  }
+  for (const auto& [tag, count] : tags) {
+    (void)tag;
+    if (count >= 2) {
+      out->push_back(&current);
+      break;
+    }
+  }
+  for (const OracleNode* child : current.children) {
+    CollectGroupParents(*child, out);
+  }
+}
+
+const OracleNode* Lca(const OracleNode* a, const OracleNode* b) {
+  DeweyId prefix = a->id.CommonPrefix(b->id);
+  const OracleNode* node = a;
+  while (node != nullptr && node->id != prefix) node = node->parent;
+  return node;
+}
+
+// Def. 2.1.3, literally: v is an entity node iff there exist a free
+// attribute a and a repeating group (with parent p, LCA of its members)
+// such that the LCA of {a, group} is v itself.
+bool IsEntity(const OracleNode& v) {
+  std::vector<const OracleNode*> attrs;
+  CollectFreeAttributes(v, v, &attrs);
+  if (attrs.empty()) return false;
+  std::vector<const OracleNode*> groups;
+  CollectGroupParents(v, &groups);
+  for (const OracleNode* attr : attrs) {
+    for (const OracleNode* group : groups) {
+      const OracleNode* lca = group == &v ? &v : Lca(attr, group);
+      if (lca == &v) return true;
+    }
+  }
+  return false;
+}
+
+class CategorizerOracle : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CategorizerOracle, StreamingMatchesDomDefinitions) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam();
+  options.target_nodes = 150;
+  options.max_depth = 5;
+  std::string xmltext = data::GenerateRandomTree(options);
+
+  XmlIndex index = BuildIndexFromXml(xmltext);
+  Result<xml::DomDocument> dom = xml::ParseDom(xmltext);
+  ASSERT_TRUE(dom.ok());
+
+  std::vector<std::unique_ptr<OracleNode>> pool;
+  BuildOracle(*dom->root(), DeweyId({0, 0}), nullptr, &pool);
+
+  for (const auto& node : pool) {
+    const NodeInfo* info = index.nodes.Find(node->id);
+    ASSERT_NE(info, nullptr) << node->id.ToString();
+
+    EXPECT_EQ(info->is_attribute(), IsAttribute(*node))
+        << node->id.ToString() << " <" << node->dom->name() << ">";
+    EXPECT_EQ(info->is_repeating(), IsRepeating(*node))
+        << node->id.ToString() << " <" << node->dom->name() << ">";
+    EXPECT_EQ(info->is_entity(), IsEntity(*node))
+        << node->id.ToString() << " <" << node->dom->name() << ">";
+    bool oracle_connecting =
+        !IsAttribute(*node) && !IsRepeating(*node) && !IsEntity(*node);
+    EXPECT_EQ(info->is_connecting(), oracle_connecting)
+        << node->id.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CategorizerOracle, ::testing::Range(1u, 16u));
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,126 @@
+// Properties of the extension features: tag constraints only ever shrink
+// the occurrence set; chunk contents come from the original document;
+// schema reconciliation preserves the core search invariant.
+
+#include <bit>
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/chunk.h"
+#include "core/merged_list.h"
+#include "core/searcher.h"
+#include "data/random_tree_gen.h"
+#include "schema/schema_summary.h"
+#include "tests/test_util.h"
+#include "xml/dom_builder.h"
+#include "xml/writer.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+using gks::testing::ParseQueryOrDie;
+
+class ExtensionsProperty : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    data::RandomTreeOptions options;
+    options.seed = GetParam();
+    options.target_nodes = 150;
+    xml_ = data::GenerateRandomTree(options);
+    index_ = BuildIndexFromXml(xml_);
+  }
+  std::string xml_;
+  XmlIndex index_;
+};
+
+TEST_P(ExtensionsProperty, TagConstraintShrinksOccurrences) {
+  for (uint32_t tag = 0; tag < 3; ++tag) {
+    std::string keyword = "k" + std::to_string(GetParam() % 8);
+    std::string constrained_text = "t" + std::to_string(tag) + ":" + keyword;
+
+    Result<Query> plain = Query::Parse(keyword);
+    ASSERT_TRUE(plain.ok());
+    Result<Query> constrained = Query::Parse(constrained_text);
+    ASSERT_TRUE(constrained.ok());
+
+    PackedIds all = AtomOccurrences(index_, plain->atoms()[0]);
+    PackedIds subset = AtomOccurrences(index_, constrained->atoms()[0]);
+    EXPECT_LE(subset.size(), all.size());
+
+    std::set<std::string> all_ids;
+    for (size_t i = 0; i < all.size(); ++i) {
+      all_ids.insert(all.IdAt(i).ToString());
+    }
+    for (size_t i = 0; i < subset.size(); ++i) {
+      EXPECT_TRUE(all_ids.count(subset.IdAt(i).ToString()))
+          << constrained_text;
+      // And every kept occurrence really has the constrained tag.
+      const NodeInfo* info = index_.nodes.Find(subset.IdAt(i));
+      ASSERT_NE(info, nullptr);
+      EXPECT_EQ(index_.nodes.TagName(info->tag_id),
+                "t" + std::to_string(tag));
+    }
+  }
+}
+
+TEST_P(ExtensionsProperty, ChunkLeavesComeFromTheDocument) {
+  Query query = ParseQueryOrDie("k0 k1 k2");
+  GksSearcher searcher(&index_);
+  SearchOptions options;
+  options.s = 1;
+  options.discover_di = false;
+  options.suggest_refinements = false;
+  Result<SearchResponse> response = searcher.Search(query, options);
+  ASSERT_TRUE(response.ok());
+  if (response->nodes.empty()) return;
+
+  ChunkBuilder builder(index_, query);
+  size_t checked = 0;
+  for (const GksNode& node : response->nodes) {
+    if (checked++ >= 3) break;
+    xml::DomDocument chunk = builder.Build(node);
+    ASSERT_FALSE(chunk.empty());
+    // Every text leaf of the chunk must literally occur in the source XML.
+    std::vector<const xml::DomNode*> stack{chunk.root()};
+    while (!stack.empty()) {
+      const xml::DomNode* current = stack.back();
+      stack.pop_back();
+      if (current->is_text()) {
+        EXPECT_NE(xml_.find(current->text()), std::string::npos)
+            << current->text();
+      }
+      for (const auto& child : current->children()) {
+        stack.push_back(child.get());
+      }
+    }
+  }
+}
+
+TEST_P(ExtensionsProperty, SchemaReconciliationKeepsSearchInvariant) {
+  SchemaSummary summary = SchemaSummary::Build(index_);
+  ApplySchemaCategorization(summary, &index_);
+
+  Query query = ParseQueryOrDie("k0 k1 k2 k3");
+  MergedList sl = MergedList::Build(index_, query);
+  GksSearcher searcher(&index_);
+  for (uint32_t s = 1; s <= 2; ++s) {
+    SearchOptions options;
+    options.s = s;
+    options.discover_di = false;
+    options.suggest_refinements = false;
+    Result<SearchResponse> response = searcher.Search(query, options);
+    ASSERT_TRUE(response.ok());
+    for (const GksNode& node : response->nodes) {
+      uint64_t mask = sl.SubtreeMask(DeweySpan::Of(node.id));
+      EXPECT_GE(std::popcount(mask), static_cast<int>(s))
+          << node.id.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionsProperty, ::testing::Range(1u, 11u));
+
+}  // namespace
+}  // namespace gks

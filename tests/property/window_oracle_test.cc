@@ -1,0 +1,143 @@
+// Cross-checks the index-based merged list and window candidates against a
+// completely independent DOM-based oracle: parse the document into a DOM,
+// assign Dewey ids by walking it, collect keyword occurrences, and compare.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/merged_list.h"
+#include "core/window_scan.h"
+#include "data/random_tree_gen.h"
+#include "tests/test_util.h"
+#include "text/analyzer.h"
+#include "xml/dom_builder.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+
+struct Occurrence {
+  DeweyId id;
+  std::string term;
+};
+
+// Walks the DOM assigning ordinals exactly like the index builder: every
+// element and every text segment consumes one child slot; text keywords
+// attach to the containing element; tag tokens attach to the element.
+void CollectOccurrences(const xml::DomNode& node, const DeweyId& id,
+                        std::vector<Occurrence>* out) {
+  text::AnalyzerOptions tag_options;
+  tag_options.remove_stopwords = false;
+  for (const std::string& term : text::Analyze(node.name(), tag_options)) {
+    out->push_back({id, term});
+  }
+  uint32_t ordinal = 0;
+  for (const auto& child : node.children()) {
+    if (child->is_text()) {
+      for (const std::string& term : text::Analyze(child->text())) {
+        out->push_back({id, term});
+      }
+      ++ordinal;
+    } else {
+      CollectOccurrences(*child, id.Child(ordinal++), out);
+    }
+  }
+}
+
+class WindowOracle : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WindowOracle, MergedListMatchesDomOracle) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam();
+  options.target_nodes = 120;
+  std::string xml = data::GenerateRandomTree(options);
+
+  XmlIndex index = BuildIndexFromXml(xml);
+  Result<xml::DomDocument> dom = xml::ParseDom(xml);
+  ASSERT_TRUE(dom.ok());
+
+  std::vector<Occurrence> occurrences;
+  CollectOccurrences(*dom->root(), DeweyId({0, 0}), &occurrences);
+
+  Result<Query> query = Query::FromKeywords({"k0", "k1", "k2"});
+  ASSERT_TRUE(query.ok());
+  MergedList sl = MergedList::Build(index, *query);
+
+  // Oracle: occurrences of the query terms, sorted by (id, atom), with
+  // duplicates per (id, atom) collapsed — posting lists are per-node.
+  std::vector<std::pair<DeweyId, uint32_t>> expected;
+  for (const Occurrence& occurrence : occurrences) {
+    for (size_t atom = 0; atom < query->size(); ++atom) {
+      for (const std::string& term : query->atoms()[atom].terms) {
+        if (occurrence.term == term) {
+          expected.push_back({occurrence.id, static_cast<uint32_t>(atom)});
+        }
+      }
+    }
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const auto& a, const auto& b) {
+              int cmp = a.first.Compare(b.first);
+              if (cmp != 0) return cmp < 0;
+              return a.second < b.second;
+            });
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+
+  ASSERT_EQ(sl.size(), expected.size()) << "seed " << GetParam();
+  for (size_t i = 0; i < sl.size(); ++i) {
+    EXPECT_EQ(sl.IdAt(i).ToDeweyId(), expected[i].first) << i;
+    EXPECT_EQ(sl.AtomAt(i), expected[i].second) << i;
+  }
+}
+
+// Oracle for the LCP list: enumerate minimal windows over the oracle
+// occurrence list directly and compare the deduplicated LCA set.
+TEST_P(WindowOracle, CandidatesMatchDomOracle) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam() + 1000;
+  options.target_nodes = 120;
+  std::string xml = data::GenerateRandomTree(options);
+
+  XmlIndex index = BuildIndexFromXml(xml);
+  Result<Query> query = Query::FromKeywords({"k0", "k1", "k2", "k3"});
+  ASSERT_TRUE(query.ok());
+  MergedList sl = MergedList::Build(index, *query);
+
+  for (uint32_t s = 1; s <= 3; ++s) {
+    std::vector<LcpCandidate> fast = ComputeLcpCandidates(sl, s);
+
+    // Brute-force: every (l, minimal r) window via fresh recomputation.
+    std::map<std::string, uint32_t> expected;
+    for (size_t l = 0; l < sl.size(); ++l) {
+      std::vector<uint32_t> seen(64, 0);
+      uint32_t unique = 0;
+      size_t r = l;
+      while (r < sl.size() && unique < s) {
+        if (seen[sl.AtomAt(r)]++ == 0) ++unique;
+        ++r;
+      }
+      if (unique < s) break;
+      DeweyId lca =
+          sl.IdAt(l).ToDeweyId().CommonPrefix(sl.IdAt(r - 1).ToDeweyId());
+      if (!lca.empty()) ++expected[lca.ToString()];
+    }
+
+    ASSERT_EQ(fast.size(), expected.size()) << "s=" << s;
+    for (const LcpCandidate& candidate : fast) {
+      auto it = expected.find(candidate.node.ToString());
+      ASSERT_NE(it, expected.end()) << candidate.node.ToString();
+      EXPECT_EQ(candidate.window_count, it->second)
+          << candidate.node.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowOracle, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace gks

@@ -1,0 +1,151 @@
+#include "schema/schema_summary.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/searcher.h"
+#include "data/figures.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+using gks::testing::SearchOrDie;
+
+// A university document where ONE course has a single student: at the
+// instance level that course is not an entity (no repeating group), but
+// the schema majority for the Course path is entity.
+constexpr const char* kOutlierXml = R"(<Dept>
+  <Area>
+    <Name>Databases</Name>
+    <Courses>
+      <Course>
+        <Name>Data Mining</Name>
+        <Students><Student>Karen</Student><Student>Mike</Student></Students>
+      </Course>
+      <Course>
+        <Name>Algorithms</Name>
+        <Students><Student>John</Student><Student>Julie</Student></Students>
+      </Course>
+      <Course>
+        <Name>Logic</Name>
+        <Students><Student>Serena</Student></Students>
+      </Course>
+    </Courses>
+  </Area>
+</Dept>)";
+
+std::vector<uint32_t> PathOf(const XmlIndex& index,
+                             std::initializer_list<const char*> tags) {
+  std::vector<uint32_t> path;
+  for (const char* tag : tags) {
+    uint32_t tag_id = 0;
+    if (!index.nodes.FindTag(tag, &tag_id)) {
+      tag_id = 0xfffffff0;  // unknown tag: a path that matches nothing
+    }
+    path.push_back(tag_id);
+  }
+  return path;
+}
+
+TEST(SchemaSummaryTest, BuildsPathTree) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml());
+  SchemaSummary summary = SchemaSummary::Build(index);
+  // Distinct tag paths: Dept, Dept_Name, Area, Area/Name, Courses, Course,
+  // Course/Name, Students, Student = 9.
+  EXPECT_EQ(summary.path_count(), 9u);
+
+  const SchemaSummary::PathInfo* course = summary.Find(
+      PathOf(index, {"Dept", "Area", "Courses", "Course"}));
+  ASSERT_NE(course, nullptr);
+  EXPECT_EQ(course->instances, 4u);
+  EXPECT_EQ(course->entity, 4u);
+  EXPECT_TRUE(course->MajorityFlags() & kFlagEntity);
+  EXPECT_TRUE(course->MajorityFlags() & kFlagRepeating);
+
+  const SchemaSummary::PathInfo* student = summary.Find(PathOf(
+      index, {"Dept", "Area", "Courses", "Course", "Students", "Student"}));
+  ASSERT_NE(student, nullptr);
+  EXPECT_EQ(student->instances, 11u);
+  EXPECT_EQ(student->MajorityFlags(), kFlagRepeating);
+}
+
+TEST(SchemaSummaryTest, IsEntityPath) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml());
+  SchemaSummary summary = SchemaSummary::Build(index);
+  EXPECT_TRUE(summary.IsEntityPath(
+      PathOf(index, {"Dept", "Area", "Courses", "Course"})));
+  EXPECT_FALSE(summary.IsEntityPath(
+      PathOf(index, {"Dept", "Area", "Courses"})));
+  EXPECT_FALSE(summary.IsEntityPath(PathOf(index, {"Nope"})));
+}
+
+TEST(SchemaSummaryTest, DumpMentionsTagsAndCategories) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml());
+  SchemaSummary summary = SchemaSummary::Build(index);
+  std::string dump = summary.ToString(index);
+  EXPECT_NE(dump.find("Course"), std::string::npos);
+  EXPECT_NE(dump.find("EN"), std::string::npos);
+  EXPECT_NE(dump.find("x4"), std::string::npos) << dump;
+}
+
+TEST(SchemaReconciliationTest, PromotesOutlierCourse) {
+  XmlIndex index = BuildIndexFromXml(kOutlierXml);
+  // Instance level: the Logic course (third course, d0.0.0.1.2) is not an
+  // entity — its lone student is an attribute node, no repeating group.
+  Result<DeweyId> logic = DeweyId::Parse("0.0.0.1.2");
+  ASSERT_TRUE(logic.ok());
+  ASSERT_NE(index.nodes.Find(*logic), nullptr);
+  EXPECT_FALSE(index.nodes.Find(*logic)->is_entity());
+
+  SchemaSummary summary = SchemaSummary::Build(index);
+  SchemaReconciliation stats = ApplySchemaCategorization(summary, &index);
+  EXPECT_GE(stats.promoted_entities, 1u);
+  EXPECT_TRUE(index.nodes.Find(*logic)->is_entity())
+      << "majority of Course instances are entities";
+}
+
+TEST(SchemaReconciliationTest, QueriesSeeThePromotedEntity) {
+  XmlIndex index = BuildIndexFromXml(kOutlierXml);
+
+  // Before reconciliation: serena's response node cannot be the Logic
+  // course (not an entity), so the result is a non-LCE node or a higher
+  // entity.
+  SearchOptions options;
+  options.s = 1;
+  SearchResponse before = SearchOrDie(index, "serena", options);
+  ASSERT_FALSE(before.nodes.empty());
+  EXPECT_NE(before.nodes[0].id.ToString(), "d0.0.0.1.2");
+
+  SchemaSummary summary = SchemaSummary::Build(index);
+  ApplySchemaCategorization(summary, &index);
+  SearchResponse after = SearchOrDie(index, "serena", options);
+  ASSERT_FALSE(after.nodes.empty());
+  EXPECT_EQ(after.nodes[0].id.ToString(), "d0.0.0.1.2");
+  EXPECT_TRUE(after.nodes[0].is_lce);
+}
+
+TEST(SchemaReconciliationTest, NoChangeOnHomogeneousData) {
+  XmlIndex index = BuildIndexFromXml(data::Figure2aXml());
+  SchemaSummary summary = SchemaSummary::Build(index);
+  SchemaReconciliation stats = ApplySchemaCategorization(summary, &index);
+  EXPECT_EQ(stats.promoted_entities, 0u);
+}
+
+TEST(SchemaReconciliationTest, CountsStayConsistent) {
+  XmlIndex index = BuildIndexFromXml(kOutlierXml);
+  uint64_t total_before = index.nodes.counts().total;
+  SchemaSummary summary = SchemaSummary::Build(index);
+  ApplySchemaCategorization(summary, &index);
+  EXPECT_EQ(index.nodes.counts().total, total_before);
+  // Re-counting entity flags by iteration must match the tally.
+  uint64_t entities = 0;
+  index.nodes.ForEach([&](DeweySpan, const NodeInfo& info) {
+    if (info.is_entity()) ++entities;
+  });
+  EXPECT_EQ(entities, index.nodes.counts().entity);
+}
+
+}  // namespace
+}  // namespace gks

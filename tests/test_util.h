@@ -1,0 +1,74 @@
+#ifndef GKS_TESTS_TEST_UTIL_H_
+#define GKS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/query.h"
+#include "core/searcher.h"
+#include "index/index_builder.h"
+#include "index/xml_index.h"
+
+namespace gks::testing {
+
+/// Builds an index over one in-memory document, failing the test on error.
+inline XmlIndex BuildIndexFromXml(std::string_view xml,
+                                  std::string name = "test.xml") {
+  IndexBuilder builder;
+  Status status = builder.AddDocument(xml, std::move(name));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  Result<XmlIndex> index = std::move(builder).Finalize();
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+/// Builds an index over several named documents.
+inline XmlIndex BuildIndexFromDocs(
+    const std::vector<std::pair<std::string, std::string>>& docs) {
+  IndexBuilder builder;
+  for (const auto& [name, xml] : docs) {
+    Status status = builder.AddDocument(xml, name);
+    EXPECT_TRUE(status.ok()) << name << ": " << status.ToString();
+  }
+  Result<XmlIndex> index = std::move(builder).Finalize();
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+/// Parses a query, failing the test on error.
+inline Query ParseQueryOrDie(std::string_view text) {
+  Result<Query> query = Query::Parse(text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  return std::move(query).value();
+}
+
+/// Runs a search, failing the test on error.
+inline SearchResponse SearchOrDie(const XmlIndex& index, std::string_view text,
+                                  const SearchOptions& options = {}) {
+  GksSearcher searcher(&index);
+  Result<SearchResponse> response = searcher.Search(text, options);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return std::move(response).value();
+}
+
+/// Dewey ids of a response, as printable strings, in rank order.
+inline std::vector<std::string> NodeIds(const SearchResponse& response) {
+  std::vector<std::string> ids;
+  for (const GksNode& node : response.nodes) ids.push_back(node.id.ToString());
+  return ids;
+}
+
+/// Finds the response node with the given printable id; nullptr if absent.
+inline const GksNode* FindNode(const SearchResponse& response,
+                               std::string_view id) {
+  for (const GksNode& node : response.nodes) {
+    if (node.id.ToString() == id) return &node;
+  }
+  return nullptr;
+}
+
+}  // namespace gks::testing
+
+#endif  // GKS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,103 @@
+#include "xml/dom.h"
+
+#include "gtest/gtest.h"
+#include "xml/dom_builder.h"
+#include "xml/escape.h"
+#include "xml/writer.h"
+
+namespace gks::xml {
+namespace {
+
+TEST(DomTest, BuildManually) {
+  auto root = DomNode::Element("course");
+  root->AddLeaf("name", "Data Mining");
+  DomNode* students = root->AddChildElement("students");
+  students->AddLeaf("student", "Karen");
+  students->AddLeaf("student", "Mike");
+
+  EXPECT_EQ(root->children().size(), 2u);
+  ASSERT_NE(root->FindChild("name"), nullptr);
+  EXPECT_EQ(root->FindChild("name")->InnerText(), "Data Mining");
+  EXPECT_EQ(root->InnerText(), "Data MiningKarenMike");
+  EXPECT_EQ(root->SubtreeSize(), 8u);   // 4 elements + ... text nodes
+  EXPECT_EQ(root->SubtreeDepth(), 3u);  // course/students/student/text
+}
+
+TEST(DomTest, ParseDomShapes) {
+  Result<DomDocument> doc =
+      ParseDom("<a id=\"7\"><b>one</b><b>two</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  const DomNode* root = doc->root();
+  EXPECT_EQ(root->name(), "a");
+  ASSERT_EQ(root->attributes().size(), 1u);
+  EXPECT_EQ(*root->FindAttribute("id"), "7");
+  EXPECT_EQ(root->FindAttribute("missing"), nullptr);
+  EXPECT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[1]->InnerText(), "two");
+  EXPECT_TRUE(root->children()[2]->children().empty());
+  EXPECT_EQ(root->children()[0]->parent(), root);
+}
+
+TEST(DomTest, ParseDomPropagatesErrors) {
+  EXPECT_FALSE(ParseDom("<a><b></a>").ok());
+}
+
+TEST(DomWriterTest, RoundTripPreservesStructure) {
+  const char* input = "<a id=\"1\"><b>x &amp; y</b><c/><c/></a>";
+  Result<DomDocument> doc = ParseDom(input);
+  ASSERT_TRUE(doc.ok());
+  std::string compact = WriteXml(*doc, WriterOptions{.indent = false});
+  Result<DomDocument> again = ParseDom(compact);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(WriteXml(*again, WriterOptions{.indent = false}), compact);
+  EXPECT_EQ(again->root()->children().size(), 3u);
+  EXPECT_EQ(again->root()->children()[0]->InnerText(), "x & y");
+}
+
+TEST(DomWriterTest, IndentedOutput) {
+  auto root = DomNode::Element("a");
+  root->AddLeaf("b", "x");
+  std::string out = WriteXml(*root);
+  EXPECT_EQ(out, "<a>\n  <b>x</b>\n</a>\n");
+}
+
+TEST(DomWriterTest, Declaration) {
+  auto root = DomNode::Element("a");
+  std::string out =
+      WriteXml(*root, WriterOptions{.indent = false, .declaration = true});
+  EXPECT_EQ(out, "<?xml version=\"1.0\"?>\n<a/>");
+}
+
+TEST(EscapeTest, TextEscaping) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeAttribute("say \"hi\" & go"), "say &quot;hi&quot; &amp; go");
+}
+
+TEST(EscapeTest, UnescapeKnownEntities) {
+  Result<std::string> out = UnescapeEntities("&lt;&gt;&amp;&apos;&quot;");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<>&'\"");
+}
+
+TEST(EscapeTest, UnescapeUtf8CodePoints) {
+  Result<std::string> out = UnescapeEntities("&#233;&#x4E2D;&#128512;");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "\xC3\xA9\xE4\xB8\xAD\xF0\x9F\x98\x80");
+}
+
+TEST(EscapeTest, UnescapeRejectsBadInput) {
+  EXPECT_FALSE(UnescapeEntities("&nope;").ok());
+  EXPECT_FALSE(UnescapeEntities("&unterminated").ok());
+  EXPECT_FALSE(UnescapeEntities("&#xD800;").ok());  // surrogate
+  EXPECT_FALSE(UnescapeEntities("&#;").ok());
+}
+
+TEST(EscapeTest, EscapeUnescapeRoundTrip) {
+  std::string nasty = "a <b> & \"c\" 'd' \xC3\xA9";
+  Result<std::string> out = UnescapeEntities(EscapeAttribute(nasty));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, nasty);
+}
+
+}  // namespace
+}  // namespace gks::xml

@@ -1,0 +1,86 @@
+// Fuzz-lite robustness: the lexer/parser/index builder must return an
+// error Status — never crash, hang or accept garbage silently — for
+// random byte strings and randomly mutated well-formed documents.
+
+#include <random>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "data/random_tree_gen.h"
+#include "index/index_builder.h"
+#include "xml/dom_builder.h"
+
+namespace gks::xml {
+namespace {
+
+class FuzzLite : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzLite, RandomBytesNeverCrashParser) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t length = rng() % 300;
+    std::string input;
+    input.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng() % 256));
+    }
+    // Must terminate with *some* status; almost always Corruption.
+    Result<DomDocument> doc = ParseDom(input);
+    if (doc.ok()) {
+      EXPECT_NE(doc->root(), nullptr);
+    }
+  }
+}
+
+TEST_P(FuzzLite, XmlishBytesNeverCrashParser) {
+  std::mt19937 rng(GetParam() + 500);
+  const char alphabet[] = "<>/=\"' abc&;!?-[]";
+  for (int trial = 0; trial < 80; ++trial) {
+    size_t length = rng() % 200;
+    std::string input;
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(alphabet[rng() % (sizeof(alphabet) - 1)]);
+    }
+    Result<DomDocument> doc = ParseDom(input);
+    (void)doc;  // any status is fine; reaching here means no crash
+  }
+}
+
+TEST_P(FuzzLite, MutatedDocumentsParseOrErrorCleanly) {
+  data::RandomTreeOptions options;
+  options.seed = GetParam();
+  std::string base = data::GenerateRandomTree(options);
+  std::mt19937 rng(GetParam() + 1000);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = base;
+    int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0:  // flip a byte
+          mutated[pos] = static_cast<char>(rng() % 256);
+          break;
+        case 1:  // delete a span
+          mutated.erase(pos, 1 + rng() % 8);
+          break;
+        default:  // duplicate a span
+          mutated.insert(pos, mutated.substr(pos, 1 + rng() % 8));
+      }
+      if (mutated.empty()) mutated = "<";
+    }
+    // Both the DOM path and the indexing path must stay well-behaved.
+    Result<DomDocument> doc = ParseDom(mutated);
+    IndexBuilder builder;
+    Status status = builder.AddDocument(mutated, "fuzz.xml");
+    EXPECT_EQ(doc.ok(), status.ok()) << "paths disagree on validity";
+    if (status.ok()) {
+      Result<XmlIndex> index = std::move(builder).Finalize();
+      EXPECT_TRUE(index.ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLite, ::testing::Range(1u, 9u));
+
+}  // namespace
+}  // namespace gks::xml

@@ -1,0 +1,112 @@
+#include "xml/lexer.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gks::xml {
+namespace {
+
+std::vector<XmlToken> LexAll(std::string_view input) {
+  XmlLexer lexer(input);
+  std::vector<XmlToken> tokens;
+  XmlToken token;
+  do {
+    Status status = lexer.Next(&token);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!status.ok()) break;
+    tokens.push_back(token);
+  } while (token.kind != XmlToken::Kind::kEof);
+  return tokens;
+}
+
+Status LexUntilError(std::string_view input) {
+  XmlLexer lexer(input);
+  XmlToken token;
+  while (true) {
+    Status status = lexer.Next(&token);
+    if (!status.ok()) return status;
+    if (token.kind == XmlToken::Kind::kEof) return Status::OK();
+  }
+}
+
+TEST(XmlLexerTest, SimpleElementWithText) {
+  auto tokens = LexAll("<a>hello</a>");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, XmlToken::Kind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "a");
+  EXPECT_EQ(tokens[1].kind, XmlToken::Kind::kText);
+  EXPECT_EQ(tokens[1].text, "hello");
+  EXPECT_EQ(tokens[2].kind, XmlToken::Kind::kEndTag);
+  EXPECT_EQ(tokens[2].name, "a");
+  EXPECT_EQ(tokens[3].kind, XmlToken::Kind::kEof);
+}
+
+TEST(XmlLexerTest, AttributesBothQuoteStyles) {
+  auto tokens = LexAll(R"(<a x="1" y='two'/>)");
+  ASSERT_GE(tokens.size(), 1u);
+  const XmlToken& tag = tokens[0];
+  EXPECT_TRUE(tag.self_closing);
+  ASSERT_EQ(tag.attributes.size(), 2u);
+  EXPECT_EQ(tag.attributes[0], (XmlAttribute{"x", "1"}));
+  EXPECT_EQ(tag.attributes[1], (XmlAttribute{"y", "two"}));
+}
+
+TEST(XmlLexerTest, EntityExpansionInTextAndAttributes) {
+  auto tokens = LexAll(R"(<a t="&lt;&amp;&gt;">x &#65;&#x42; y</a>)");
+  EXPECT_EQ(tokens[0].attributes[0].value, "<&>");
+  EXPECT_EQ(tokens[1].text, "x AB y");
+}
+
+TEST(XmlLexerTest, CommentAndProcessingInstruction) {
+  auto tokens = LexAll("<?xml version=\"1.0\"?><!-- note --><a/>");
+  EXPECT_EQ(tokens[0].kind, XmlToken::Kind::kProcessing);
+  EXPECT_EQ(tokens[0].name, "xml");
+  EXPECT_EQ(tokens[1].kind, XmlToken::Kind::kComment);
+  EXPECT_EQ(tokens[1].text, " note ");
+  EXPECT_EQ(tokens[2].kind, XmlToken::Kind::kStartTag);
+}
+
+TEST(XmlLexerTest, CDataPreservedVerbatim) {
+  auto tokens = LexAll("<a><![CDATA[<not & parsed>]]></a>");
+  EXPECT_EQ(tokens[1].kind, XmlToken::Kind::kCData);
+  EXPECT_EQ(tokens[1].text, "<not & parsed>");
+}
+
+TEST(XmlLexerTest, DoctypeSkipped) {
+  auto tokens = LexAll("<!DOCTYPE dblp SYSTEM \"dblp.dtd\"><a/>");
+  EXPECT_EQ(tokens[0].kind, XmlToken::Kind::kDoctype);
+  EXPECT_EQ(tokens[1].kind, XmlToken::Kind::kStartTag);
+}
+
+TEST(XmlLexerTest, TracksLineNumbers) {
+  XmlLexer lexer("<a>\n  <b/>\n</a>");
+  XmlToken token;
+  ASSERT_TRUE(lexer.Next(&token).ok());  // <a>
+  EXPECT_EQ(token.line, 1u);
+  ASSERT_TRUE(lexer.Next(&token).ok());  // whitespace text
+  ASSERT_TRUE(lexer.Next(&token).ok());  // <b/>
+  EXPECT_EQ(token.line, 2u);
+}
+
+TEST(XmlLexerTest, ErrorsArePinpointed) {
+  Status status = LexUntilError("<a>\n<b oops></a>");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(XmlLexerTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(LexUntilError("<").ok());
+  EXPECT_FALSE(LexUntilError("<a x=1>").ok());          // unquoted attr
+  EXPECT_FALSE(LexUntilError("<a x=\"1>").ok());        // unterminated attr
+  EXPECT_FALSE(LexUntilError("<a>&unknown;</a>").ok()); // bad entity
+  EXPECT_FALSE(LexUntilError("<!-- never closed").ok());
+  EXPECT_FALSE(LexUntilError("<![CDATA[ never closed").ok());
+  EXPECT_FALSE(LexUntilError("<?pi never closed").ok());
+  EXPECT_FALSE(LexUntilError("<a>&#xZZ;</a>").ok());
+  EXPECT_FALSE(LexUntilError("<a>&#1114112;</a>").ok());  // > U+10FFFF
+}
+
+}  // namespace
+}  // namespace gks::xml

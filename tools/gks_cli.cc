@@ -1,0 +1,311 @@
+// The `gks` command-line tool: build, inspect and query GKS indexes.
+//
+//   gks index  <out.gksidx> <file.xml...>          build an index
+//   gks search <index.gksidx> "<query>" [--s=N] [--top=N] [--di=M]
+//                                        [--refine] [--schema-reconcile]
+//   gks analyze <index.gksidx> "<query>" [--s=N] [--facets]
+//                                        [--agg=TAG] [--hist=TAG:BUCKETS]
+//   gks schema <index.gksidx>                      DataGuide-style dump
+//   gks stats  <index.gksidx>                      size / category stats
+//   gks generate <dataset> <out.xml> [--scale=F]   synthetic corpora
+//
+// Queries use double quotes inside the shell-quoted argument for phrases:
+//   gks search dblp.gksidx '"Peter Buneman" "Wenfei Fan"' --s=1
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/analytics.h"
+#include "core/chunk.h"
+#include "core/searcher.h"
+#include "data/dblp_gen.h"
+#include "data/mondial_gen.h"
+#include "data/nasa_gen.h"
+#include "data/protein_gen.h"
+#include "data/sigmod_gen.h"
+#include "data/treebank_gen.h"
+#include "index/index_builder.h"
+#include "index/serialization.h"
+#include "schema/schema_summary.h"
+#include "xml/sax_parser.h"
+#include "xml/writer.h"
+
+namespace gks {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gks index  <out.gksidx> <file.xml...>\n"
+      "  gks search <index.gksidx> \"<query>\" [--s=N] [--top=N] [--di=M]\n"
+      "             [--refine] [--schema-reconcile] [--explain] [--chunks=N]\n"
+      "             (keywords may be tag-constrained: year:2001,\n"
+      "              author:\"peter buneman\")\n"
+      "  gks analyze <index.gksidx> \"<query>\" [--s=N] [--facets]\n"
+      "             [--agg=TAG] [--hist=TAG:BUCKETS]\n"
+      "  gks schema <index.gksidx>\n"
+      "  gks stats  <index.gksidx>\n"
+      "  gks generate <dblp|sigmod|mondial|swissprot|interpro|protein|nasa|"
+      "treebank> <out.xml> [--scale=F]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<XmlIndex> LoadOrFail(const std::string& path) { return LoadIndex(path); }
+
+int CmdIndex(const FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 3) return Usage();
+  WallTimer timer;
+  IndexBuilder builder;
+  for (size_t i = 2; i < args.size(); ++i) {
+    std::printf("indexing %s...\n", args[i].c_str());
+    if (Status status = builder.AddFile(args[i]); !status.ok()) {
+      return Fail(status);
+    }
+  }
+  Result<XmlIndex> index = std::move(builder).Finalize();
+  if (!index.ok()) return Fail(index.status());
+  if (Status status = SaveIndex(*index, args[1]); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %s: %zu docs, %llu elements, %zu terms, %llu postings "
+              "in %.2fs\n",
+              args[1].c_str(), index->catalog.document_count(),
+              (unsigned long long)index->catalog.TotalElements(),
+              index->inverted.term_count(),
+              (unsigned long long)index->inverted.posting_count(),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+int CmdSearch(const FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 3) return Usage();
+  Result<XmlIndex> index = LoadOrFail(args[1]);
+  if (!index.ok()) return Fail(index.status());
+
+  if (flags.GetBool("schema-reconcile")) {
+    SchemaSummary summary = SchemaSummary::Build(*index);
+    SchemaReconciliation stats = ApplySchemaCategorization(summary, &*index);
+    std::printf("schema reconciliation: +%llu entities, +%llu attributes\n",
+                (unsigned long long)stats.promoted_entities,
+                (unsigned long long)stats.promoted_attributes);
+  }
+
+  SearchOptions options;
+  options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
+  options.max_results = static_cast<size_t>(flags.GetInt("top", 20));
+  options.di_top_m = static_cast<size_t>(flags.GetInt("di", 5));
+  options.suggest_refinements = flags.GetBool("refine");
+
+  GksSearcher searcher(&*index);
+  WallTimer timer;
+  Result<SearchResponse> response = searcher.Search(args[2], options);
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%zu nodes (|S_L|=%zu, candidates=%zu, LCE=%zu) in %.2fms\n",
+              response->nodes.size(), response->merged_list_size,
+              response->candidate_count, response->lce_count,
+              timer.ElapsedMillis());
+  if (flags.GetBool("explain")) {
+    std::printf("%s\n", FormatSearchDiagnostics(*response).c_str());
+  }
+  for (const GksNode& node : response->nodes) {
+    std::printf("  %s [%s]\n", DescribeNode(*index, node).c_str(),
+                index->catalog.document(node.id.doc_id()).name.c_str());
+  }
+  size_t chunks = static_cast<size_t>(flags.GetInt("chunks", 0));
+  if (chunks > 0) {
+    Result<Query> query = Query::Parse(args[2]);
+    if (!query.ok()) return Fail(query.status());
+    ChunkBuilder chunker(*index, *query);
+    for (size_t i = 0; i < response->nodes.size() && i < chunks; ++i) {
+      std::printf("--- chunk %zu ---\n%s", i + 1,
+                  xml::WriteXml(chunker.Build(response->nodes[i])).c_str());
+    }
+  }
+  if (!response->insights.empty()) {
+    std::printf("DI:\n");
+    for (const DiKeyword& di : response->insights) {
+      std::printf("  %-50s weight=%.2f support=%u\n", di.ToString().c_str(),
+                  di.weight, di.support);
+    }
+  }
+  for (const RefinementSuggestion& suggestion : response->refinements) {
+    std::printf("refine: {");
+    for (size_t i = 0; i < suggestion.keywords.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", suggestion.keywords[i].c_str());
+    }
+    std::printf("} (%s)\n", suggestion.rationale.c_str());
+  }
+  return 0;
+}
+
+int CmdAnalyze(const FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 3) return Usage();
+  Result<XmlIndex> index = LoadOrFail(args[1]);
+  if (!index.ok()) return Fail(index.status());
+
+  SearchOptions options;
+  options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
+  options.discover_di = false;
+  options.suggest_refinements = false;
+  GksSearcher searcher(&*index);
+  Result<SearchResponse> response = searcher.Search(args[2], options);
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%zu response nodes\n", response->nodes.size());
+
+  if (flags.GetBool("facets") || (!flags.Has("agg") && !flags.Has("hist"))) {
+    for (const Facet& facet : ComputeFacets(*index, response->nodes)) {
+      std::printf("facet %s:\n", facet.tag.c_str());
+      for (const FacetBucket& bucket : facet.buckets) {
+        std::printf("  %-40s %6u  (rank mass %.2f)\n", bucket.value.c_str(),
+                    bucket.count, bucket.rank_mass);
+      }
+    }
+  }
+  if (flags.Has("agg")) {
+    std::string tag = flags.GetString("agg", "");
+    Result<NumericSummary> summary =
+        AggregateNumeric(*index, response->nodes, tag);
+    if (!summary.ok()) return Fail(summary.status());
+    std::printf("%s: count=%llu min=%.2f max=%.2f mean=%.2f sum=%.2f "
+                "(skipped %llu non-numeric)\n",
+                tag.c_str(), (unsigned long long)summary->count, summary->min,
+                summary->max, summary->mean, summary->sum,
+                (unsigned long long)summary->skipped);
+  }
+  if (flags.Has("hist")) {
+    std::string spec = flags.GetString("hist", "");
+    size_t colon = spec.find(':');
+    std::string tag = spec.substr(0, colon);
+    size_t buckets = colon == std::string::npos
+                         ? 10
+                         : static_cast<size_t>(
+                               std::atoll(spec.c_str() + colon + 1));
+    Result<std::vector<HistogramBucket>> histogram =
+        NumericHistogram(*index, response->nodes, tag, buckets);
+    if (!histogram.ok()) return Fail(histogram.status());
+    for (const HistogramBucket& bucket : *histogram) {
+      std::printf("  [%8.1f, %8.1f)  %llu\n", bucket.lo, bucket.hi,
+                  (unsigned long long)bucket.count);
+    }
+  }
+  return 0;
+}
+
+int CmdSchema(const FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 2) return Usage();
+  Result<XmlIndex> index = LoadOrFail(args[1]);
+  if (!index.ok()) return Fail(index.status());
+  SchemaSummary summary = SchemaSummary::Build(*index);
+  std::printf("%s", summary.ToString(*index).c_str());
+  return 0;
+}
+
+int CmdStats(const FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 2) return Usage();
+  Result<XmlIndex> index = LoadOrFail(args[1]);
+  if (!index.ok()) return Fail(index.status());
+  const auto& counts = index->nodes.counts();
+  std::printf("documents : %zu\n", index->catalog.document_count());
+  for (size_t i = 0; i < index->catalog.document_count(); ++i) {
+    const auto& doc = index->catalog.document(static_cast<uint32_t>(i));
+    std::printf("  [%zu] %s  elements=%llu depth=%u\n", i, doc.name.c_str(),
+                (unsigned long long)doc.element_count, doc.max_depth);
+  }
+  std::printf("elements  : %llu (AN=%llu EN=%llu RN=%llu CN=%llu)\n",
+              (unsigned long long)counts.total,
+              (unsigned long long)counts.attribute,
+              (unsigned long long)counts.entity,
+              (unsigned long long)counts.repeating,
+              (unsigned long long)counts.connecting);
+  std::printf("terms     : %zu\n", index->inverted.term_count());
+  std::printf("postings  : %llu\n",
+              (unsigned long long)index->inverted.posting_count());
+  std::printf("attr dir  : %zu values\n", index->attributes.size());
+  std::printf("memory    : %s\n", HumanBytes(index->MemoryUsage()).c_str());
+  return 0;
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 3) return Usage();
+  double scale = flags.GetDouble("scale", 1.0);
+  auto scaled = [scale](size_t base) {
+    return static_cast<size_t>(static_cast<double>(base) * scale) + 1;
+  };
+  const std::string& kind = args[1];
+  std::string xml;
+  if (kind == "dblp") {
+    data::DblpOptions options;
+    options.articles = scaled(20000);
+    xml = data::GenerateDblp(options);
+  } else if (kind == "sigmod") {
+    data::SigmodOptions options;
+    options.issues = scaled(120);
+    xml = data::GenerateSigmodRecord(options);
+  } else if (kind == "mondial") {
+    data::MondialOptions options;
+    options.countries = scaled(240);
+    xml = data::GenerateMondial(options);
+  } else if (kind == "swissprot") {
+    data::SwissProtOptions options;
+    options.entries = scaled(8000);
+    xml = data::GenerateSwissProt(options);
+  } else if (kind == "interpro") {
+    data::InterProOptions options;
+    options.entries = scaled(5000);
+    xml = data::GenerateInterPro(options);
+  } else if (kind == "protein") {
+    data::ProteinSequenceOptions options;
+    options.entries = scaled(12000);
+    xml = data::GenerateProteinSequence(options);
+  } else if (kind == "nasa") {
+    data::NasaOptions options;
+    options.datasets = scaled(4000);
+    xml = data::GenerateNasa(options);
+  } else if (kind == "treebank") {
+    data::TreebankOptions options;
+    options.sentences = scaled(6000);
+    xml = data::GenerateTreebank(options);
+  } else {
+    return Usage();
+  }
+  if (Status status = xml::WriteStringToFile(args[2], xml); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %s (%s)\n", args[2].c_str(),
+              HumanBytes(xml.size()).c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "index") return CmdIndex(flags);
+  if (command == "search") return CmdSearch(flags);
+  if (command == "analyze") return CmdAnalyze(flags);
+  if (command == "schema") return CmdSchema(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "generate") return CmdGenerate(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gks
+
+int main(int argc, char** argv) { return gks::Run(argc, argv); }
