@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lce.dir/ablation_lce.cc.o"
+  "CMakeFiles/ablation_lce.dir/ablation_lce.cc.o.d"
+  "ablation_lce"
+  "ablation_lce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

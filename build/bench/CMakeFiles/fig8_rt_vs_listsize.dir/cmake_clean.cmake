@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rt_vs_listsize.dir/fig8_rt_vs_listsize.cc.o"
+  "CMakeFiles/fig8_rt_vs_listsize.dir/fig8_rt_vs_listsize.cc.o.d"
+  "fig8_rt_vs_listsize"
+  "fig8_rt_vs_listsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rt_vs_listsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

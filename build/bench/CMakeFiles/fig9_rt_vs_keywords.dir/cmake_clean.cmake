@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_rt_vs_keywords.dir/fig9_rt_vs_keywords.cc.o"
+  "CMakeFiles/fig9_rt_vs_keywords.dir/fig9_rt_vs_keywords.cc.o.d"
+  "fig9_rt_vs_keywords"
+  "fig9_rt_vs_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_rt_vs_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma3_naive_vs_gks.dir/lemma3_naive_vs_gks.cc.o"
+  "CMakeFiles/lemma3_naive_vs_gks.dir/lemma3_naive_vs_gks.cc.o.d"
+  "lemma3_naive_vs_gks"
+  "lemma3_naive_vs_gks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma3_naive_vs_gks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

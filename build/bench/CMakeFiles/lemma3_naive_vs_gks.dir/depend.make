@@ -1,0 +1,2 @@
+# Empty dependencies file for lemma3_naive_vs_gks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec75_user_study.dir/sec75_user_study.cc.o"
+  "CMakeFiles/sec75_user_study.dir/sec75_user_study.cc.o.d"
+  "sec75_user_study"
+  "sec75_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec75_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

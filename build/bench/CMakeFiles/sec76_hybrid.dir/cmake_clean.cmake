@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec76_hybrid.dir/sec76_hybrid.cc.o"
+  "CMakeFiles/sec76_hybrid.dir/sec76_hybrid.cc.o.d"
+  "sec76_hybrid"
+  "sec76_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec76_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

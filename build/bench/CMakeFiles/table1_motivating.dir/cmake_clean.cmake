@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_motivating.dir/table1_motivating.cc.o"
+  "CMakeFiles/table1_motivating.dir/table1_motivating.cc.o.d"
+  "table1_motivating"
+  "table1_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

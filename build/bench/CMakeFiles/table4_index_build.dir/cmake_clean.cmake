@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_index_build.dir/table4_index_build.cc.o"
+  "CMakeFiles/table4_index_build.dir/table4_index_build.cc.o.d"
+  "table4_index_build"
+  "table4_index_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

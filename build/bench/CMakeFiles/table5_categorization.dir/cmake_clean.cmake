@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_categorization.dir/table5_categorization.cc.o"
+  "CMakeFiles/table5_categorization.dir/table5_categorization.cc.o.d"
+  "table5_categorization"
+  "table5_categorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_categorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

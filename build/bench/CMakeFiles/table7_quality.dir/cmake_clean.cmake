@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_quality.dir/table7_quality.cc.o"
+  "CMakeFiles/table7_quality.dir/table7_quality.cc.o.d"
+  "table7_quality"
+  "table7_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

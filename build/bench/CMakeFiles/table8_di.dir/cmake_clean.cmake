@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_di.dir/table8_di.cc.o"
+  "CMakeFiles/table8_di.dir/table8_di.cc.o.d"
+  "table8_di"
+  "table8_di.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_di.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

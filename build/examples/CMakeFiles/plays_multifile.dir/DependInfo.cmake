@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/plays_multifile.cpp" "examples/CMakeFiles/plays_multifile.dir/plays_multifile.cpp.o" "gcc" "examples/CMakeFiles/plays_multifile.dir/plays_multifile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gks_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_dewey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plays_multifile.dir/plays_multifile.cpp.o"
+  "CMakeFiles/plays_multifile.dir/plays_multifile.cpp.o.d"
+  "plays_multifile"
+  "plays_multifile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plays_multifile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for plays_multifile.
+# This may be replaced when dependencies are built.

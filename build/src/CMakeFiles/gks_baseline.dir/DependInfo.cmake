@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/match_trie.cc" "src/CMakeFiles/gks_baseline.dir/baseline/match_trie.cc.o" "gcc" "src/CMakeFiles/gks_baseline.dir/baseline/match_trie.cc.o.d"
+  "/root/repo/src/baseline/naive_gks.cc" "src/CMakeFiles/gks_baseline.dir/baseline/naive_gks.cc.o" "gcc" "src/CMakeFiles/gks_baseline.dir/baseline/naive_gks.cc.o.d"
+  "/root/repo/src/baseline/slca_ile.cc" "src/CMakeFiles/gks_baseline.dir/baseline/slca_ile.cc.o" "gcc" "src/CMakeFiles/gks_baseline.dir/baseline/slca_ile.cc.o.d"
+  "/root/repo/src/baseline/stack_scan.cc" "src/CMakeFiles/gks_baseline.dir/baseline/stack_scan.cc.o" "gcc" "src/CMakeFiles/gks_baseline.dir/baseline/stack_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gks_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_dewey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

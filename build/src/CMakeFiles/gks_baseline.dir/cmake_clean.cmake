@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_baseline.dir/baseline/match_trie.cc.o"
+  "CMakeFiles/gks_baseline.dir/baseline/match_trie.cc.o.d"
+  "CMakeFiles/gks_baseline.dir/baseline/naive_gks.cc.o"
+  "CMakeFiles/gks_baseline.dir/baseline/naive_gks.cc.o.d"
+  "CMakeFiles/gks_baseline.dir/baseline/slca_ile.cc.o"
+  "CMakeFiles/gks_baseline.dir/baseline/slca_ile.cc.o.d"
+  "CMakeFiles/gks_baseline.dir/baseline/stack_scan.cc.o"
+  "CMakeFiles/gks_baseline.dir/baseline/stack_scan.cc.o.d"
+  "libgks_baseline.a"
+  "libgks_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_common.dir/common/flags.cc.o"
+  "CMakeFiles/gks_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/gks_common.dir/common/status.cc.o"
+  "CMakeFiles/gks_common.dir/common/status.cc.o.d"
+  "CMakeFiles/gks_common.dir/common/string_util.cc.o"
+  "CMakeFiles/gks_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/gks_common.dir/common/varint.cc.o"
+  "CMakeFiles/gks_common.dir/common/varint.cc.o.d"
+  "libgks_common.a"
+  "libgks_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

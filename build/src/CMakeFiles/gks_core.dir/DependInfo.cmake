@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytics.cc" "src/CMakeFiles/gks_core.dir/core/analytics.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/analytics.cc.o.d"
+  "/root/repo/src/core/chunk.cc" "src/CMakeFiles/gks_core.dir/core/chunk.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/chunk.cc.o.d"
+  "/root/repo/src/core/di.cc" "src/CMakeFiles/gks_core.dir/core/di.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/di.cc.o.d"
+  "/root/repo/src/core/lce.cc" "src/CMakeFiles/gks_core.dir/core/lce.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/lce.cc.o.d"
+  "/root/repo/src/core/merged_list.cc" "src/CMakeFiles/gks_core.dir/core/merged_list.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/merged_list.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/gks_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/CMakeFiles/gks_core.dir/core/ranking.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/ranking.cc.o.d"
+  "/root/repo/src/core/refinement.cc" "src/CMakeFiles/gks_core.dir/core/refinement.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/refinement.cc.o.d"
+  "/root/repo/src/core/searcher.cc" "src/CMakeFiles/gks_core.dir/core/searcher.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/searcher.cc.o.d"
+  "/root/repo/src/core/window_scan.cc" "src/CMakeFiles/gks_core.dir/core/window_scan.cc.o" "gcc" "src/CMakeFiles/gks_core.dir/core/window_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gks_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_dewey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_core.dir/core/analytics.cc.o"
+  "CMakeFiles/gks_core.dir/core/analytics.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/chunk.cc.o"
+  "CMakeFiles/gks_core.dir/core/chunk.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/di.cc.o"
+  "CMakeFiles/gks_core.dir/core/di.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/lce.cc.o"
+  "CMakeFiles/gks_core.dir/core/lce.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/merged_list.cc.o"
+  "CMakeFiles/gks_core.dir/core/merged_list.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/query.cc.o"
+  "CMakeFiles/gks_core.dir/core/query.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/ranking.cc.o"
+  "CMakeFiles/gks_core.dir/core/ranking.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/refinement.cc.o"
+  "CMakeFiles/gks_core.dir/core/refinement.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/searcher.cc.o"
+  "CMakeFiles/gks_core.dir/core/searcher.cc.o.d"
+  "CMakeFiles/gks_core.dir/core/window_scan.cc.o"
+  "CMakeFiles/gks_core.dir/core/window_scan.cc.o.d"
+  "libgks_core.a"
+  "libgks_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

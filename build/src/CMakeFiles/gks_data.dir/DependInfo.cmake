@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dblp_gen.cc" "src/CMakeFiles/gks_data.dir/data/dblp_gen.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/dblp_gen.cc.o.d"
+  "/root/repo/src/data/figures.cc" "src/CMakeFiles/gks_data.dir/data/figures.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/figures.cc.o.d"
+  "/root/repo/src/data/mondial_gen.cc" "src/CMakeFiles/gks_data.dir/data/mondial_gen.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/mondial_gen.cc.o.d"
+  "/root/repo/src/data/names.cc" "src/CMakeFiles/gks_data.dir/data/names.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/names.cc.o.d"
+  "/root/repo/src/data/nasa_gen.cc" "src/CMakeFiles/gks_data.dir/data/nasa_gen.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/nasa_gen.cc.o.d"
+  "/root/repo/src/data/plays_gen.cc" "src/CMakeFiles/gks_data.dir/data/plays_gen.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/plays_gen.cc.o.d"
+  "/root/repo/src/data/protein_gen.cc" "src/CMakeFiles/gks_data.dir/data/protein_gen.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/protein_gen.cc.o.d"
+  "/root/repo/src/data/random_tree_gen.cc" "src/CMakeFiles/gks_data.dir/data/random_tree_gen.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/random_tree_gen.cc.o.d"
+  "/root/repo/src/data/sigmod_gen.cc" "src/CMakeFiles/gks_data.dir/data/sigmod_gen.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/sigmod_gen.cc.o.d"
+  "/root/repo/src/data/treebank_gen.cc" "src/CMakeFiles/gks_data.dir/data/treebank_gen.cc.o" "gcc" "src/CMakeFiles/gks_data.dir/data/treebank_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gks_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

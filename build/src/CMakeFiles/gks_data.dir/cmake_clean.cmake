@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_data.dir/data/dblp_gen.cc.o"
+  "CMakeFiles/gks_data.dir/data/dblp_gen.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/figures.cc.o"
+  "CMakeFiles/gks_data.dir/data/figures.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/mondial_gen.cc.o"
+  "CMakeFiles/gks_data.dir/data/mondial_gen.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/names.cc.o"
+  "CMakeFiles/gks_data.dir/data/names.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/nasa_gen.cc.o"
+  "CMakeFiles/gks_data.dir/data/nasa_gen.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/plays_gen.cc.o"
+  "CMakeFiles/gks_data.dir/data/plays_gen.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/protein_gen.cc.o"
+  "CMakeFiles/gks_data.dir/data/protein_gen.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/random_tree_gen.cc.o"
+  "CMakeFiles/gks_data.dir/data/random_tree_gen.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/sigmod_gen.cc.o"
+  "CMakeFiles/gks_data.dir/data/sigmod_gen.cc.o.d"
+  "CMakeFiles/gks_data.dir/data/treebank_gen.cc.o"
+  "CMakeFiles/gks_data.dir/data/treebank_gen.cc.o.d"
+  "libgks_data.a"
+  "libgks_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_dewey.dir/dewey/dewey_id.cc.o"
+  "CMakeFiles/gks_dewey.dir/dewey/dewey_id.cc.o.d"
+  "libgks_dewey.a"
+  "libgks_dewey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_dewey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/catalog.cc" "src/CMakeFiles/gks_index.dir/index/catalog.cc.o" "gcc" "src/CMakeFiles/gks_index.dir/index/catalog.cc.o.d"
+  "/root/repo/src/index/categorizer.cc" "src/CMakeFiles/gks_index.dir/index/categorizer.cc.o" "gcc" "src/CMakeFiles/gks_index.dir/index/categorizer.cc.o.d"
+  "/root/repo/src/index/index_builder.cc" "src/CMakeFiles/gks_index.dir/index/index_builder.cc.o" "gcc" "src/CMakeFiles/gks_index.dir/index/index_builder.cc.o.d"
+  "/root/repo/src/index/index_updater.cc" "src/CMakeFiles/gks_index.dir/index/index_updater.cc.o" "gcc" "src/CMakeFiles/gks_index.dir/index/index_updater.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/gks_index.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/gks_index.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/node_info_table.cc" "src/CMakeFiles/gks_index.dir/index/node_info_table.cc.o" "gcc" "src/CMakeFiles/gks_index.dir/index/node_info_table.cc.o.d"
+  "/root/repo/src/index/posting_list.cc" "src/CMakeFiles/gks_index.dir/index/posting_list.cc.o" "gcc" "src/CMakeFiles/gks_index.dir/index/posting_list.cc.o.d"
+  "/root/repo/src/index/serialization.cc" "src/CMakeFiles/gks_index.dir/index/serialization.cc.o" "gcc" "src/CMakeFiles/gks_index.dir/index/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_dewey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

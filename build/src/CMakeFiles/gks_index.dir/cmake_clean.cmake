@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_index.dir/index/catalog.cc.o"
+  "CMakeFiles/gks_index.dir/index/catalog.cc.o.d"
+  "CMakeFiles/gks_index.dir/index/categorizer.cc.o"
+  "CMakeFiles/gks_index.dir/index/categorizer.cc.o.d"
+  "CMakeFiles/gks_index.dir/index/index_builder.cc.o"
+  "CMakeFiles/gks_index.dir/index/index_builder.cc.o.d"
+  "CMakeFiles/gks_index.dir/index/index_updater.cc.o"
+  "CMakeFiles/gks_index.dir/index/index_updater.cc.o.d"
+  "CMakeFiles/gks_index.dir/index/inverted_index.cc.o"
+  "CMakeFiles/gks_index.dir/index/inverted_index.cc.o.d"
+  "CMakeFiles/gks_index.dir/index/node_info_table.cc.o"
+  "CMakeFiles/gks_index.dir/index/node_info_table.cc.o.d"
+  "CMakeFiles/gks_index.dir/index/posting_list.cc.o"
+  "CMakeFiles/gks_index.dir/index/posting_list.cc.o.d"
+  "CMakeFiles/gks_index.dir/index/serialization.cc.o"
+  "CMakeFiles/gks_index.dir/index/serialization.cc.o.d"
+  "libgks_index.a"
+  "libgks_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

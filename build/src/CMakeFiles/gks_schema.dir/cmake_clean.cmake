@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_schema.dir/schema/schema_summary.cc.o"
+  "CMakeFiles/gks_schema.dir/schema/schema_summary.cc.o.d"
+  "libgks_schema.a"
+  "libgks_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

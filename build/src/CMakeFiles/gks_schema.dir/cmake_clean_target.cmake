@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgks_schema.a"
+)

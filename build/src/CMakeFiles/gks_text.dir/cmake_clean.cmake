@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_text.dir/text/analyzer.cc.o"
+  "CMakeFiles/gks_text.dir/text/analyzer.cc.o.d"
+  "CMakeFiles/gks_text.dir/text/porter_stemmer.cc.o"
+  "CMakeFiles/gks_text.dir/text/porter_stemmer.cc.o.d"
+  "CMakeFiles/gks_text.dir/text/stopwords.cc.o"
+  "CMakeFiles/gks_text.dir/text/stopwords.cc.o.d"
+  "CMakeFiles/gks_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/gks_text.dir/text/tokenizer.cc.o.d"
+  "libgks_text.a"
+  "libgks_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

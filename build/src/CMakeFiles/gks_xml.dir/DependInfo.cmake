@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/dom.cc" "src/CMakeFiles/gks_xml.dir/xml/dom.cc.o" "gcc" "src/CMakeFiles/gks_xml.dir/xml/dom.cc.o.d"
+  "/root/repo/src/xml/dom_builder.cc" "src/CMakeFiles/gks_xml.dir/xml/dom_builder.cc.o" "gcc" "src/CMakeFiles/gks_xml.dir/xml/dom_builder.cc.o.d"
+  "/root/repo/src/xml/escape.cc" "src/CMakeFiles/gks_xml.dir/xml/escape.cc.o" "gcc" "src/CMakeFiles/gks_xml.dir/xml/escape.cc.o.d"
+  "/root/repo/src/xml/lexer.cc" "src/CMakeFiles/gks_xml.dir/xml/lexer.cc.o" "gcc" "src/CMakeFiles/gks_xml.dir/xml/lexer.cc.o.d"
+  "/root/repo/src/xml/sax_parser.cc" "src/CMakeFiles/gks_xml.dir/xml/sax_parser.cc.o" "gcc" "src/CMakeFiles/gks_xml.dir/xml/sax_parser.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/gks_xml.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/gks_xml.dir/xml/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks_xml.dir/xml/dom.cc.o"
+  "CMakeFiles/gks_xml.dir/xml/dom.cc.o.d"
+  "CMakeFiles/gks_xml.dir/xml/dom_builder.cc.o"
+  "CMakeFiles/gks_xml.dir/xml/dom_builder.cc.o.d"
+  "CMakeFiles/gks_xml.dir/xml/escape.cc.o"
+  "CMakeFiles/gks_xml.dir/xml/escape.cc.o.d"
+  "CMakeFiles/gks_xml.dir/xml/lexer.cc.o"
+  "CMakeFiles/gks_xml.dir/xml/lexer.cc.o.d"
+  "CMakeFiles/gks_xml.dir/xml/sax_parser.cc.o"
+  "CMakeFiles/gks_xml.dir/xml/sax_parser.cc.o.d"
+  "CMakeFiles/gks_xml.dir/xml/writer.cc.o"
+  "CMakeFiles/gks_xml.dir/xml/writer.cc.o.d"
+  "libgks_xml.a"
+  "libgks_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

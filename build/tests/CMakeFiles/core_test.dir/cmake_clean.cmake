@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analytics_test.cc.o"
+  "CMakeFiles/core_test.dir/core/analytics_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/chunk_and_constraints_test.cc.o"
+  "CMakeFiles/core_test.dir/core/chunk_and_constraints_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_units_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_units_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/query_test.cc.o"
+  "CMakeFiles/core_test.dir/core/query_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/search_figure1_test.cc.o"
+  "CMakeFiles/core_test.dir/core/search_figure1_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/search_figure2a_test.cc.o"
+  "CMakeFiles/core_test.dir/core/search_figure2a_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_test.dir/index/categorizer_test.cc.o"
+  "CMakeFiles/index_test.dir/index/categorizer_test.cc.o.d"
+  "CMakeFiles/index_test.dir/index/index_builder_test.cc.o"
+  "CMakeFiles/index_test.dir/index/index_builder_test.cc.o.d"
+  "CMakeFiles/index_test.dir/index/index_updater_test.cc.o"
+  "CMakeFiles/index_test.dir/index/index_updater_test.cc.o.d"
+  "CMakeFiles/index_test.dir/index/posting_list_test.cc.o"
+  "CMakeFiles/index_test.dir/index/posting_list_test.cc.o.d"
+  "CMakeFiles/index_test.dir/index/serialization_test.cc.o"
+  "CMakeFiles/index_test.dir/index/serialization_test.cc.o.d"
+  "index_test"
+  "index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xml/dom_test.cc" "tests/CMakeFiles/xml_test.dir/xml/dom_test.cc.o" "gcc" "tests/CMakeFiles/xml_test.dir/xml/dom_test.cc.o.d"
+  "/root/repo/tests/xml/fuzz_lite_test.cc" "tests/CMakeFiles/xml_test.dir/xml/fuzz_lite_test.cc.o" "gcc" "tests/CMakeFiles/xml_test.dir/xml/fuzz_lite_test.cc.o.d"
+  "/root/repo/tests/xml/lexer_test.cc" "tests/CMakeFiles/xml_test.dir/xml/lexer_test.cc.o" "gcc" "tests/CMakeFiles/xml_test.dir/xml/lexer_test.cc.o.d"
+  "/root/repo/tests/xml/sax_parser_test.cc" "tests/CMakeFiles/xml_test.dir/xml/sax_parser_test.cc.o" "gcc" "tests/CMakeFiles/xml_test.dir/xml/sax_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gks_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_dewey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

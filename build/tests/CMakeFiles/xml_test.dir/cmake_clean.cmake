@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_test.dir/xml/dom_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml/dom_test.cc.o.d"
+  "CMakeFiles/xml_test.dir/xml/fuzz_lite_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml/fuzz_lite_test.cc.o.d"
+  "CMakeFiles/xml_test.dir/xml/lexer_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml/lexer_test.cc.o.d"
+  "CMakeFiles/xml_test.dir/xml/sax_parser_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml/sax_parser_test.cc.o.d"
+  "xml_test"
+  "xml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

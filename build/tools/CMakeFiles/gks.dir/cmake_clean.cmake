@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gks.dir/gks_cli.cc.o"
+  "CMakeFiles/gks.dir/gks_cli.cc.o.d"
+  "gks"
+  "gks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
