@@ -168,12 +168,12 @@ examples/CMakeFiles/dblp_search.dir/dblp_search.cpp.o: \
  /usr/include/assert.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/status.h /root/repo/src/core/di.h \
- /root/repo/src/core/lce.h /root/repo/src/core/merged_list.h \
- /root/repo/src/core/query.h /root/repo/src/index/posting_list.h \
- /root/repo/src/dewey/dewey_id.h /root/repo/src/index/xml_index.h \
- /root/repo/src/index/catalog.h /root/repo/src/index/inverted_index.h \
- /usr/include/c++/12/unordered_map \
+ /root/repo/src/common/status.h /root/repo/src/common/trace.h \
+ /root/repo/src/core/di.h /root/repo/src/core/lce.h \
+ /root/repo/src/core/merged_list.h /root/repo/src/core/query.h \
+ /root/repo/src/index/posting_list.h /root/repo/src/dewey/dewey_id.h \
+ /root/repo/src/index/xml_index.h /root/repo/src/index/catalog.h \
+ /root/repo/src/index/inverted_index.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \

@@ -185,7 +185,8 @@ examples/CMakeFiles/plays_multifile.dir/plays_multifile.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/status.h /root/repo/src/core/di.h \
+ /root/repo/src/common/status.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /root/repo/src/core/di.h \
  /root/repo/src/core/lce.h /root/repo/src/core/merged_list.h \
  /root/repo/src/core/query.h /root/repo/src/index/posting_list.h \
  /root/repo/src/dewey/dewey_id.h /root/repo/src/index/xml_index.h \

@@ -9,8 +9,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/flags.cc" "src/CMakeFiles/gks_common.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/gks_common.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/gks_common.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/gks_common.dir/common/metrics.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/gks_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gks_common.dir/common/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/CMakeFiles/gks_common.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/gks_common.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/CMakeFiles/gks_common.dir/common/trace.cc.o" "gcc" "src/CMakeFiles/gks_common.dir/common/trace.cc.o.d"
   "/root/repo/src/common/varint.cc" "src/CMakeFiles/gks_common.dir/common/varint.cc.o" "gcc" "src/CMakeFiles/gks_common.dir/common/varint.cc.o.d"
   )
 

@@ -1,10 +1,14 @@
 file(REMOVE_RECURSE
   "CMakeFiles/gks_common.dir/common/flags.cc.o"
   "CMakeFiles/gks_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/gks_common.dir/common/metrics.cc.o"
+  "CMakeFiles/gks_common.dir/common/metrics.cc.o.d"
   "CMakeFiles/gks_common.dir/common/status.cc.o"
   "CMakeFiles/gks_common.dir/common/status.cc.o.d"
   "CMakeFiles/gks_common.dir/common/string_util.cc.o"
   "CMakeFiles/gks_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/gks_common.dir/common/trace.cc.o"
+  "CMakeFiles/gks_common.dir/common/trace.cc.o.d"
   "CMakeFiles/gks_common.dir/common/varint.cc.o"
   "CMakeFiles/gks_common.dir/common/varint.cc.o.d"
   "libgks_common.a"

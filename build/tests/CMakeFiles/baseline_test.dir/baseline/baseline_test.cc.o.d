@@ -302,6 +302,8 @@ tests/CMakeFiles/baseline_test.dir/baseline/baseline_test.cc.o: \
  /root/repo/src/index/node_kind.h /root/repo/src/baseline/naive_gks.h \
  /root/repo/src/baseline/slca_ile.h /root/repo/src/data/figures.h \
  /root/repo/tests/test_util.h /root/repo/src/core/searcher.h \
+ /root/repo/src/common/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/core/di.h /root/repo/src/core/lce.h \
  /root/repo/src/core/window_scan.h /root/repo/src/core/refinement.h \
  /root/repo/src/index/index_builder.h

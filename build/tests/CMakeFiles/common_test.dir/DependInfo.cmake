@@ -9,8 +9,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/flags_test.cc" "tests/CMakeFiles/common_test.dir/common/flags_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/flags_test.cc.o.d"
+  "/root/repo/tests/common/metrics_test.cc" "tests/CMakeFiles/common_test.dir/common/metrics_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/metrics_test.cc.o.d"
   "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
   "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/trace_test.cc" "tests/CMakeFiles/common_test.dir/common/trace_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/trace_test.cc.o.d"
   "/root/repo/tests/common/varint_test.cc" "tests/CMakeFiles/common_test.dir/common/varint_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/varint_test.cc.o.d"
   )
 

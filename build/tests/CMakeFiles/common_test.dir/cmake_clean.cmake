@@ -1,10 +1,14 @@
 file(REMOVE_RECURSE
   "CMakeFiles/common_test.dir/common/flags_test.cc.o"
   "CMakeFiles/common_test.dir/common/flags_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/metrics_test.cc.o"
+  "CMakeFiles/common_test.dir/common/metrics_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/status_test.cc.o"
   "CMakeFiles/common_test.dir/common/status_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/string_util_test.cc.o"
   "CMakeFiles/common_test.dir/common/string_util_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/trace_test.cc.o"
+  "CMakeFiles/common_test.dir/common/trace_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/varint_test.cc.o"
   "CMakeFiles/common_test.dir/common/varint_test.cc.o.d"
   "common_test"

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/analytics_test.cc" "tests/CMakeFiles/core_test.dir/core/analytics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/analytics_test.cc.o.d"
   "/root/repo/tests/core/chunk_and_constraints_test.cc" "tests/CMakeFiles/core_test.dir/core/chunk_and_constraints_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/chunk_and_constraints_test.cc.o.d"
+  "/root/repo/tests/core/explain_json_test.cc" "tests/CMakeFiles/core_test.dir/core/explain_json_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/explain_json_test.cc.o.d"
   "/root/repo/tests/core/pipeline_units_test.cc" "tests/CMakeFiles/core_test.dir/core/pipeline_units_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_units_test.cc.o.d"
   "/root/repo/tests/core/query_test.cc" "tests/CMakeFiles/core_test.dir/core/query_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/query_test.cc.o.d"
   "/root/repo/tests/core/search_figure1_test.cc" "tests/CMakeFiles/core_test.dir/core/search_figure1_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/search_figure1_test.cc.o.d"

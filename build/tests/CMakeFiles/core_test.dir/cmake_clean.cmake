@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_test.dir/core/analytics_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/chunk_and_constraints_test.cc.o"
   "CMakeFiles/core_test.dir/core/chunk_and_constraints_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/explain_json_test.cc.o"
+  "CMakeFiles/core_test.dir/core/explain_json_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/pipeline_units_test.cc.o"
   "CMakeFiles/core_test.dir/core/pipeline_units_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/query_test.cc.o"

@@ -301,6 +301,8 @@ tests/CMakeFiles/core_test.dir/core/pipeline_units_test.cc.o: \
  /root/repo/src/index/catalog.h /root/repo/src/index/inverted_index.h \
  /root/repo/src/common/hash.h /root/repo/src/index/node_info_table.h \
  /root/repo/src/index/node_kind.h /root/repo/src/core/window_scan.h \
- /root/repo/src/core/searcher.h /root/repo/src/core/refinement.h \
+ /root/repo/src/core/searcher.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/refinement.h \
  /root/repo/src/data/figures.h /root/repo/tests/test_util.h \
  /root/repo/src/index/index_builder.h

@@ -296,7 +296,9 @@ tests/CMakeFiles/core_test.dir/core/search_figure2a_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/searcher.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/core/di.h \
+ /root/repo/src/common/status.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/di.h \
  /root/repo/src/core/lce.h /root/repo/src/core/merged_list.h \
  /root/repo/src/core/query.h /root/repo/src/index/posting_list.h \
  /root/repo/src/dewey/dewey_id.h /root/repo/src/index/xml_index.h \

@@ -328,7 +328,9 @@ tests/CMakeFiles/data_test.dir/data/generators_test.cc.o: \
  /root/repo/src/data/protein_gen.h /root/repo/src/data/random_tree_gen.h \
  /root/repo/src/data/sigmod_gen.h /root/repo/src/data/treebank_gen.h \
  /root/repo/tests/test_util.h /root/repo/src/core/query.h \
- /root/repo/src/core/searcher.h /root/repo/src/core/di.h \
+ /root/repo/src/core/searcher.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/di.h \
  /root/repo/src/core/lce.h /root/repo/src/core/merged_list.h \
  /root/repo/src/index/posting_list.h /root/repo/src/dewey/dewey_id.h \
  /root/repo/src/index/xml_index.h /root/repo/src/index/catalog.h \

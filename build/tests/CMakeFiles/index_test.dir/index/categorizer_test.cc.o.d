@@ -299,6 +299,8 @@ tests/CMakeFiles/index_test.dir/index/categorizer_test.cc.o: \
  /root/repo/src/index/inverted_index.h /root/repo/src/common/hash.h \
  /root/repo/src/index/node_info_table.h /root/repo/tests/test_util.h \
  /root/repo/src/core/query.h /root/repo/src/core/searcher.h \
+ /root/repo/src/common/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/core/di.h /root/repo/src/core/lce.h \
  /root/repo/src/core/merged_list.h /root/repo/src/core/window_scan.h \
  /root/repo/src/core/refinement.h

@@ -301,6 +301,8 @@ tests/CMakeFiles/index_test.dir/index/serialization_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/data/figures.h /root/repo/tests/test_util.h \
  /root/repo/src/core/query.h /root/repo/src/core/searcher.h \
+ /root/repo/src/common/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/core/di.h /root/repo/src/core/lce.h \
  /root/repo/src/core/merged_list.h /root/repo/src/core/window_scan.h \
  /root/repo/src/core/refinement.h /root/repo/src/index/index_builder.h

@@ -300,13 +300,16 @@ tests/CMakeFiles/integration_test.dir/integration/concurrency_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/searcher.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/core/di.h \
- /root/repo/src/core/lce.h /root/repo/src/core/merged_list.h \
- /root/repo/src/core/query.h /root/repo/src/index/posting_list.h \
- /root/repo/src/dewey/dewey_id.h /root/repo/src/index/xml_index.h \
- /root/repo/src/index/catalog.h /root/repo/src/index/inverted_index.h \
- /root/repo/src/common/hash.h /root/repo/src/index/node_info_table.h \
- /root/repo/src/index/node_kind.h /root/repo/src/core/window_scan.h \
- /root/repo/src/core/refinement.h /root/repo/src/data/dblp_gen.h \
- /root/repo/tests/test_util.h /root/repo/src/index/index_builder.h
+ /root/repo/src/common/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/searcher.h \
+ /root/repo/src/common/result.h /root/repo/src/common/status.h \
+ /root/repo/src/common/trace.h /usr/include/c++/12/chrono \
+ /root/repo/src/core/di.h /root/repo/src/core/lce.h \
+ /root/repo/src/core/merged_list.h /root/repo/src/core/query.h \
+ /root/repo/src/index/posting_list.h /root/repo/src/dewey/dewey_id.h \
+ /root/repo/src/index/xml_index.h /root/repo/src/index/catalog.h \
+ /root/repo/src/index/inverted_index.h /root/repo/src/common/hash.h \
+ /root/repo/src/index/node_info_table.h /root/repo/src/index/node_kind.h \
+ /root/repo/src/core/window_scan.h /root/repo/src/core/refinement.h \
+ /root/repo/src/data/dblp_gen.h /root/repo/tests/test_util.h \
+ /root/repo/src/index/index_builder.h

@@ -295,7 +295,9 @@ tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/searcher.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/core/di.h \
+ /root/repo/src/common/status.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/di.h \
  /root/repo/src/core/lce.h /root/repo/src/core/merged_list.h \
  /root/repo/src/core/query.h /root/repo/src/index/posting_list.h \
  /root/repo/src/dewey/dewey_id.h /root/repo/src/index/xml_index.h \

@@ -298,7 +298,9 @@ tests/CMakeFiles/property_test.dir/property/categorizer_oracle_test.cc.o: \
  /root/repo/src/data/random_tree_gen.h /root/repo/src/index/node_kind.h \
  /root/repo/tests/test_util.h /root/repo/src/core/query.h \
  /root/repo/src/common/result.h /root/repo/src/common/status.h \
- /root/repo/src/core/searcher.h /root/repo/src/core/di.h \
+ /root/repo/src/core/searcher.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/di.h \
  /root/repo/src/core/lce.h /root/repo/src/core/merged_list.h \
  /root/repo/src/index/posting_list.h /root/repo/src/dewey/dewey_id.h \
  /root/repo/src/index/xml_index.h /root/repo/src/index/catalog.h \

@@ -304,6 +304,8 @@ tests/CMakeFiles/property_test.dir/property/invariants_test.cc.o: \
  /root/repo/src/common/hash.h /root/repo/src/index/node_info_table.h \
  /root/repo/src/index/node_kind.h /root/repo/src/baseline/slca_ile.h \
  /root/repo/src/baseline/stack_scan.h /root/repo/src/core/searcher.h \
+ /root/repo/src/common/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/core/di.h /root/repo/src/core/lce.h \
  /root/repo/src/core/window_scan.h /root/repo/src/core/refinement.h \
  /root/repo/src/data/random_tree_gen.h \

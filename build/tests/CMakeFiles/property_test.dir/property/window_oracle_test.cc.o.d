@@ -304,6 +304,8 @@ tests/CMakeFiles/property_test.dir/property/window_oracle_test.cc.o: \
  /root/repo/src/index/node_info_table.h /root/repo/src/index/node_kind.h \
  /root/repo/src/core/window_scan.h /root/repo/src/data/random_tree_gen.h \
  /root/repo/tests/test_util.h /root/repo/src/core/searcher.h \
+ /root/repo/src/common/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/core/di.h /root/repo/src/core/lce.h \
  /root/repo/src/core/refinement.h /root/repo/src/index/index_builder.h \
  /root/repo/src/text/analyzer.h /root/repo/src/xml/dom_builder.h \

@@ -298,7 +298,9 @@ tests/CMakeFiles/schema_test.dir/schema/schema_summary_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/searcher.h /root/repo/src/core/di.h \
+ /root/repo/src/core/searcher.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/di.h \
  /root/repo/src/core/lce.h /root/repo/src/core/merged_list.h \
  /root/repo/src/core/query.h /root/repo/src/core/window_scan.h \
  /root/repo/src/core/refinement.h /root/repo/src/data/figures.h \

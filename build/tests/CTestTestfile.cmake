@@ -7,22 +7,24 @@
 add_test(common_test "/root/repo/build/tests/common_test")
 set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;15;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(dewey_test "/root/repo/build/tests/dewey_test")
-set_tests_properties(dewey_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;21;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(dewey_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;23;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(xml_test "/root/repo/build/tests/xml_test")
-set_tests_properties(xml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;24;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(xml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;26;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(text_test "/root/repo/build/tests/text_test")
-set_tests_properties(text_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;30;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(text_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;32;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(index_test "/root/repo/build/tests/index_test")
-set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;33;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;35;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(core_test "/root/repo/build/tests/core_test")
-set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;40;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;42;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(schema_test "/root/repo/build/tests/schema_test")
-set_tests_properties(schema_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;48;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(schema_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;54;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(baseline_test "/root/repo/build/tests/baseline_test")
-set_tests_properties(baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;51;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;57;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(property_test "/root/repo/build/tests/property_test")
-set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;54;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;60;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(data_test "/root/repo/build/tests/data_test")
-set_tests_properties(data_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;60;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(data_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;66;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(integration_test "/root/repo/build/tests/integration_test")
-set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;63;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;69;gks_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(check_docs "/root/repo/scripts/check_docs.sh" "/root/repo")
+set_tests_properties(check_docs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;75;add_test;/root/repo/tests/CMakeLists.txt;0;")

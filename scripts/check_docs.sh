@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Docs lint (registered with ctest as `check_docs`): keeps
+# docs/OBSERVABILITY.md and the source tree in sync so the documented
+# observability contract cannot silently rot.
+#
+#   1. Every span name listed between the span-names markers must be
+#      created somewhere in src/ or tools/ (ScopedSpan / GKS_TRACE_SPAN).
+#   2. Every span literal created in src/ or tools/ must be documented.
+#   3. Every statically-named metric listed between the metric-names
+#      markers must appear verbatim in src/ or tools/.
+#
+# Usage: check_docs.sh [repo-root]   (defaults to the script's parent)
+
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+doc="$root/docs/OBSERVABILITY.md"
+fail=0
+
+if [[ ! -f "$doc" ]]; then
+  echo "check_docs: missing $doc" >&2
+  exit 1
+fi
+
+extract_block() {  # extract_block <marker> — backticked names in a block
+  awk "/<!-- $1:begin -->/,/<!-- $1:end -->/" "$doc" \
+    | grep -oE '`[a-z0-9_.]+`' | tr -d '`' | sort -u
+}
+
+doc_spans=$(extract_block "span-names")
+if [[ -z "$doc_spans" ]]; then
+  echo "check_docs: no span names found between span-names markers" >&2
+  exit 1
+fi
+
+# 1. documented span -> source
+for name in $doc_spans; do
+  if ! grep -rqE "(GKS_TRACE_SPAN\(|ScopedSpan [A-Za-z_]+\()\"$name\"" \
+      "$root/src" "$root/tools"; then
+    echo "check_docs: span '$name' is documented in docs/OBSERVABILITY.md" \
+         "but never created in src/ or tools/" >&2
+    fail=1
+  fi
+done
+
+# 2. source span -> documented
+src_spans=$(grep -rhoE \
+    "(GKS_TRACE_SPAN\(|ScopedSpan [A-Za-z_]+\()\"[a-z0-9_.]+\"" \
+    "$root/src" "$root/tools" \
+  | grep -oE '"[a-z0-9_.]+"' | tr -d '"' | sort -u)
+for name in $src_spans; do
+  if ! grep -qx "$name" <<<"$doc_spans"; then
+    echo "check_docs: span '$name' is created in the source tree but not" \
+         "documented in docs/OBSERVABILITY.md" >&2
+    fail=1
+  fi
+done
+
+# 3. documented metric -> source
+doc_metrics=$(extract_block "metric-names")
+for name in $doc_metrics; do
+  if ! grep -rqF "\"$name\"" "$root/src" "$root/tools"; then
+    echo "check_docs: metric '$name' is documented in" \
+         "docs/OBSERVABILITY.md but not found in src/ or tools/" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED — update docs/OBSERVABILITY.md or the source" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(wc -w <<<"$doc_spans") spans," \
+     "$(wc -w <<<"$doc_metrics") metrics verified)"

@@ -1,0 +1,134 @@
+#ifndef GKS_COMMON_JSON_WRITER_H_
+#define GKS_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gks {
+
+/// Minimal append-only JSON emitter (compact, no whitespace) for the
+/// observability surfaces: metrics snapshots, span trees, --explain-json.
+/// Comma placement is automatic; callers must alternate Key()/value calls
+/// correctly inside objects (misuse is a programming error, not validated).
+class JsonWriter {
+ public:
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  JsonWriter& BeginObject() {
+    ValuePrefix();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    first_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    ValuePrefix();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    first_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  JsonWriter& Key(std::string_view key) {
+    Comma();
+    AppendEscaped(key);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(std::string_view value) {
+    ValuePrefix();
+    AppendEscaped(value);
+    return *this;
+  }
+  JsonWriter& UInt(uint64_t value) {
+    ValuePrefix();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)value);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Int(int64_t value) {
+    ValuePrefix();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", (long long)value);
+    out_ += buf;
+    return *this;
+  }
+  /// Fixed-precision double (default 3 decimals — millisecond timings).
+  JsonWriter& Double(double value, int precision = 3) {
+    ValuePrefix();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Bool(bool value) {
+    ValuePrefix();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  /// Splices pre-rendered JSON in value position (e.g. a nested snapshot).
+  JsonWriter& Raw(std::string_view json) {
+    ValuePrefix();
+    out_ += json;
+    return *this;
+  }
+
+ private:
+  void Comma() {
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+  void ValuePrefix() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    Comma();
+  }
+  void AppendEscaped(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_JSON_WRITER_H_

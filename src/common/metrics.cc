@@ -1,0 +1,176 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json_writer.h"
+
+namespace gks {
+
+double MetricsSnapshot::HistogramValue::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return Histogram::kBucketBounds[std::min(
+          i, Histogram::kBucketBounds.size() - 1)];
+    }
+  }
+  return Histogram::kBucketBounds.back();
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    delta.counters[name] = value >= prev ? value - prev : value;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, value] : after.histograms) {
+    auto it = before.histograms.find(name);
+    if (it == before.histograms.end() || value.count < it->second.count) {
+      delta.histograms[name] = value;
+      continue;
+    }
+    HistogramValue d;
+    d.count = value.count - it->second.count;
+    d.sum = value.sum - it->second.sum;
+    for (size_t i = 0; i < d.buckets.size(); ++i) {
+      uint64_t prev = it->second.buckets[i];
+      d.buckets[i] = value.buckets[i] >= prev ? value.buckets[i] - prev : 0;
+    }
+    delta.histograms[name] = d;
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "counter   %-48s %llu\n", name.c_str(),
+                  (unsigned long long)value);
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge     %-48s %lld\n", name.c_str(),
+                  (long long)value);
+    out += buf;
+  }
+  for (const auto& [name, value] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %-48s count=%llu sum=%.3f p50<=%g p95<=%g "
+                  "p99<=%g\n",
+                  name.c_str(), (unsigned long long)value.count, value.sum,
+                  value.Percentile(0.50), value.Percentile(0.95),
+                  value.Percentile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) json.Key(name).UInt(value);
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) json.Key(name).Int(value);
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, value] : histograms) {
+    json.Key(name).BeginObject();
+    json.Key("count").UInt(value.count);
+    json.Key("sum").Double(value.sum);
+    // Sparse bucket pairs [upper_bound, count]; the overflow bucket uses
+    // the JSON-representable sentinel bound -1.
+    json.Key("buckets").BeginArray();
+    for (size_t i = 0; i < value.buckets.size(); ++i) {
+      if (value.buckets[i] == 0) continue;
+      json.BeginArray();
+      if (i < Histogram::kBucketBounds.size()) {
+        json.Double(Histogram::kBucketBounds[i]);
+      } else {
+        json.Int(-1);
+      }
+      json.UInt(value.buckets[i]);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.Take();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    for (size_t i = 0; i < value.buckets.size(); ++i) {
+      value.buckets[i] = histogram->bucket(i);
+    }
+    snapshot.histograms[name] = value;
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace gks

@@ -1,0 +1,148 @@
+#ifndef GKS_COMMON_METRICS_H_
+#define GKS_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gks {
+
+/// Process-wide observability instruments (see docs/OBSERVABILITY.md for
+/// the naming conventions and the exported formats). The update paths are
+/// lock-free (`std::atomic` with relaxed ordering — instruments count, they
+/// do not synchronize); only instrument registration and snapshotting take
+/// the registry mutex. Instrument pointers returned by the registry are
+/// stable for the registry's lifetime, so hot paths should look up once and
+/// cache the pointer.
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (last-writer-wins under concurrency).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucket upper bounds follow a 1-2-5
+/// pattern across seven decades, 0.001 .. 10000 (milliseconds when the
+/// metric name ends in `.latency_ms`), plus one overflow bucket — the
+/// layout is part of the documented contract (docs/OBSERVABILITY.md) so
+/// exported bucket arrays are comparable across builds.
+class Histogram {
+ public:
+  static constexpr std::array<double, 22> kBucketBounds = {
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,  0.2,  0.5,  1.0,  2.0,
+      5.0,   10.0,  20.0,  50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+      10000.0};
+  static constexpr size_t kNumBuckets = kBucketBounds.size() + 1;  // +overflow
+
+  void Observe(double value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+  static size_t BucketIndex(double value) {
+    for (size_t i = 0; i < kBucketBounds.size(); ++i) {
+      if (value <= kBucketBounds[i]) return i;
+    }
+    return kBucketBounds.size();  // overflow
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered instrument. Plain data: safe to
+/// keep, diff and export after the fact.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+    /// Upper bound of the bucket holding the p-quantile (0 < p <= 1);
+    /// overflow reports the largest finite bound. 0 when empty.
+    double Percentile(double p) const;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  /// `after - before`: counters and histogram buckets subtract (clamped at
+  /// zero for instruments reset in between); gauges keep the after level.
+  static MetricsSnapshot Delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+  /// One instrument per line, ready for terminals and logs.
+  std::string ToText() const;
+  /// {"counters":{..},"gauges":{..},"histograms":{..}} — schema in
+  /// docs/OBSERVABILITY.md.
+  std::string ToJson() const;
+};
+
+/// Named instrument registry. `Global()` is the process-wide instance every
+/// subsystem records into; tests may construct private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Find-or-create; the returned pointer stays valid for the registry's
+  /// lifetime and is safe to cache and update from any thread.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every instrument; registrations (and cached pointers) survive.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_METRICS_H_

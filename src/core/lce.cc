@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/trace.h"
 #include "core/ranking.h"
 
 namespace gks {
@@ -35,7 +36,12 @@ std::vector<GksNode> ComputeGksNodes(const XmlIndex& index,
                                      const std::vector<LcpCandidate>& lcps_in) {
   // SLCA-style minimality: drop ancestors whose keyword set is already
   // covered by their candidate descendants (Table 1's {x2}-not-{x1,x2,r}).
-  std::vector<LcpCandidate> lcps = PruneCoveredAncestors(sl, lcps_in);
+  std::vector<LcpCandidate> lcps = [&] {
+    ScopedSpan span("prune");
+    std::vector<LcpCandidate> pruned = PruneCoveredAncestors(sl, lcps_in);
+    span.AddItems(pruned.size());
+    return pruned;
+  }();
 
   // Entities with an independent witness: the lowest entity ancestor of at
   // least one occurrence in S_L (Def. 2.2.1 restricted to query keywords).
@@ -87,9 +93,15 @@ std::vector<GksNode> ComputeGksNodes(const XmlIndex& index,
     node.window_count = agg.window_count;
     node.keyword_mask = sl.SubtreeMask(DeweySpan::Of(node.id));
     node.keyword_count = static_cast<uint32_t>(std::popcount(node.keyword_mask));
-    node.rank = ComputePotentialFlowRank(index, sl, DeweySpan::Of(node.id),
-                                         node.keyword_mask);
     out.push_back(std::move(node));
+  }
+  {
+    ScopedSpan span("ranking");
+    for (GksNode& node : out) {
+      node.rank = ComputePotentialFlowRank(index, sl, DeweySpan::Of(node.id),
+                                           node.keyword_mask);
+    }
+    span.AddItems(out.size());
   }
   return out;
 }

@@ -3,38 +3,70 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/json_writer.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 #include "core/merged_list.h"
 #include "core/window_scan.h"
 
 namespace gks {
+namespace {
 
-Result<SearchResponse> GksSearcher::Search(const Query& query,
-                                           const SearchOptions& options) const {
+// Backfills the legacy Timings struct from the recorded span tree and the
+// end-to-end timer, and feeds the query-level registry instruments.
+void FinishTimings(const WallTimer& total_timer, SearchResponse* response) {
+  SearchResponse::Timings& t = response->timings;
+  t.parse_ms = response->trace.ElapsedMs("parse");
+  t.merge_ms = response->trace.ElapsedMs("merged_list");
+  t.window_ms = response->trace.ElapsedMs("window_scan");
+  t.lce_ms = response->trace.ElapsedMs("lce");  // includes prune + ranking
+  t.di_ms = response->trace.ElapsedMs("di");
+  t.refine_ms = response->trace.ElapsedMs("refinement");
+  t.total_ms = total_timer.ElapsedMillis();
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("gks.search.queries_total")->Increment();
+  registry.GetHistogram("gks.search.total.latency_ms")->Observe(t.total_ms);
+  registry.GetCounter("gks.search.nodes_total")
+      ->Add(response->nodes.size());
+}
+
+}  // namespace
+
+Result<SearchResponse> GksSearcher::SearchTraced(
+    const Query& query, const SearchOptions& options) const {
   SearchResponse response;
   uint32_t s = options.s == 0 ? static_cast<uint32_t>(query.size())
                               : options.s;
   s = std::min<uint32_t>(s, static_cast<uint32_t>(query.size()));
   response.effective_s = s;
 
-  WallTimer total_timer;
-  WallTimer stage_timer;
-  MergedList sl = MergedList::Build(*index_, query);
+  MergedList sl = [&] {
+    ScopedSpan span("merged_list");
+    MergedList merged = MergedList::Build(*index_, query);
+    span.AddItems(merged.size());
+    return merged;
+  }();
   response.merged_list_size = sl.size();
-  response.timings.merge_ms = stage_timer.ElapsedMillis();
 
-  stage_timer.Reset();
-  std::vector<LcpCandidate> candidates = ComputeLcpCandidates(sl, s);
+  std::vector<LcpCandidate> candidates = [&] {
+    ScopedSpan span("window_scan");
+    std::vector<LcpCandidate> lcps = ComputeLcpCandidates(sl, s);
+    span.AddItems(lcps.size());
+    return lcps;
+  }();
   response.candidate_count = candidates.size();
-  response.timings.window_ms = stage_timer.ElapsedMillis();
 
-  stage_timer.Reset();
-  response.nodes = ComputeGksNodes(*index_, sl, candidates);
+  {
+    ScopedSpan span("lce");
+    response.nodes = ComputeGksNodes(*index_, sl, candidates);
+    span.AddItems(response.nodes.size());
+  }
   for (const GksNode& node : response.nodes) {
     if (node.is_lce) ++response.lce_count;
   }
-  response.timings.lce_ms = stage_timer.ElapsedMillis();
 
   // Rank: potential-flow score first, then keyword count, then document
   // order for determinism.
@@ -48,44 +80,90 @@ Result<SearchResponse> GksSearcher::Search(const Query& query,
             });
 
   if (options.discover_di) {
-    stage_timer.Reset();
+    ScopedSpan span("di");
     DiOptions di_options;
     di_options.top_m = options.di_top_m;
     response.insights = DiscoverDi(*index_, response.nodes, query, di_options);
-    response.timings.di_ms = stage_timer.ElapsedMillis();
+    span.AddItems(response.insights.size());
   }
   if (options.suggest_refinements) {
-    stage_timer.Reset();
+    ScopedSpan span("refinement");
     response.refinements =
         SuggestRefinements(query, response.nodes, response.insights);
-    response.timings.refine_ms = stage_timer.ElapsedMillis();
+    span.AddItems(response.refinements.size());
   }
   if (options.max_results > 0 && response.nodes.size() > options.max_results) {
     response.nodes.resize(options.max_results);
   }
-  response.timings.total_ms = total_timer.ElapsedMillis();
   return response;
 }
 
-std::string FormatSearchDiagnostics(const SearchResponse& response) {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "s=%u  |S_L|=%zu  candidates=%zu  nodes=%zu (LCE %zu)\n"
-      "merge %.3fms | windows %.3fms | lce+rank %.3fms | di %.3fms | "
-      "refine %.3fms | total %.3fms",
-      response.effective_s, response.merged_list_size,
-      response.candidate_count, response.nodes.size(), response.lce_count,
-      response.timings.merge_ms, response.timings.window_ms,
-      response.timings.lce_ms, response.timings.di_ms,
-      response.timings.refine_ms, response.timings.total_ms);
-  return buf;
+Result<SearchResponse> GksSearcher::Search(const Query& query,
+                                           const SearchOptions& options) const {
+  WallTimer total_timer;
+  TraceCollector collector("gks.search");
+  Result<SearchResponse> response = SearchTraced(query, options);
+  if (!response.ok()) return response;
+  response->trace = collector.Finish();
+  FinishTimings(total_timer, &*response);
+  return response;
 }
 
 Result<SearchResponse> GksSearcher::Search(std::string_view query_text,
                                            const SearchOptions& options) const {
-  GKS_ASSIGN_OR_RETURN(Query query, Query::Parse(query_text));
-  return Search(query, options);
+  WallTimer total_timer;
+  TraceCollector collector("gks.search");
+  Result<Query> query = [&] {
+    ScopedSpan span("parse");
+    return Query::Parse(query_text);
+  }();
+  if (!query.ok()) return query.status();
+  Result<SearchResponse> response = SearchTraced(*query, options);
+  if (!response.ok()) return response;
+  response->trace = collector.Finish();
+  FinishTimings(total_timer, &*response);
+  return response;
+}
+
+std::string FormatSearchDiagnostics(const SearchResponse& response) {
+  char buf[640];
+  const SearchResponse::Timings& t = response.timings;
+  std::snprintf(
+      buf, sizeof(buf),
+      "s=%u  |S_L|=%zu  candidates=%zu  nodes=%zu (LCE %zu)\n"
+      "parse %.3fms | merge %.3fms | windows %.3fms | lce+rank %.3fms | "
+      "di %.3fms | refine %.3fms\n"
+      "stages %.3fms + other %.3fms = total %.3fms",
+      response.effective_s, response.merged_list_size,
+      response.candidate_count, response.nodes.size(), response.lce_count,
+      t.parse_ms, t.merge_ms, t.window_ms, t.lce_ms, t.di_ms, t.refine_ms,
+      t.StageSumMs(), t.ResidualMs(), t.total_ms);
+  return buf;
+}
+
+std::string ExplainJson(const SearchResponse& response) {
+  const SearchResponse::Timings& t = response.timings;
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("s").UInt(response.effective_s);
+  json.Key("merged_list_size").UInt(response.merged_list_size);
+  json.Key("candidates").UInt(response.candidate_count);
+  json.Key("nodes").UInt(response.nodes.size());
+  json.Key("lce").UInt(response.lce_count);
+  json.Key("timings").BeginObject();
+  json.Key("parse_ms").Double(t.parse_ms);
+  json.Key("merge_ms").Double(t.merge_ms);
+  json.Key("window_ms").Double(t.window_ms);
+  json.Key("lce_ms").Double(t.lce_ms);
+  json.Key("di_ms").Double(t.di_ms);
+  json.Key("refine_ms").Double(t.refine_ms);
+  json.Key("stage_sum_ms").Double(t.StageSumMs());
+  json.Key("residual_ms").Double(t.ResidualMs());
+  json.Key("total_ms").Double(t.total_ms);
+  json.EndObject();
+  json.Key("spans").Raw(response.trace.ToJson());
+  json.EndObject();
+  return json.Take();
 }
 
 Result<std::vector<std::vector<DiKeyword>>> GksSearcher::DiscoverRecursiveDi(

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/di.h"
 #include "core/lce.h"
 #include "core/query.h"
@@ -43,19 +44,44 @@ struct SearchResponse {
   size_t lce_count = 0;          // responses that are LCE nodes
 
   /// Per-stage wall-clock, for the complexity analysis and --explain.
+  /// Populated from `trace` (the span tree is the source of truth);
+  /// total_ms >= parse_ms + stage sum, the residual being sort/allocation
+  /// overhead outside any stage span (see docs/OBSERVABILITY.md).
   struct Timings {
+    double parse_ms = 0.0;    // query-text parse (string overload only)
     double merge_ms = 0.0;    // k-way merge of the posting lists
     double window_ms = 0.0;   // sliding-window LCP candidates
     double lce_ms = 0.0;      // pruning + LCE mapping + ranking
     double di_ms = 0.0;       // DI discovery
     double refine_ms = 0.0;   // refinement suggestions
     double total_ms = 0.0;
+
+    /// parse_ms + the five stage timings (excludes total_ms).
+    double StageSumMs() const {
+      return parse_ms + merge_ms + window_ms + lce_ms + di_ms + refine_ms;
+    }
+    /// total_ms minus the accounted stages (clamped at 0): sorting,
+    /// result assembly and other unattributed work.
+    double ResidualMs() const {
+      double residual = total_ms - StageSumMs();
+      return residual > 0.0 ? residual : 0.0;
+    }
   };
   Timings timings;
+
+  /// Full span tree for this query (stage spans `merged_list`,
+  /// `window_scan`, `lce` (children `prune`, `ranking`), `di`,
+  /// `refinement`, plus `parse` for text queries).
+  Trace trace;
 };
 
 /// Multi-line description of the search diagnostics ("explain" output).
 std::string FormatSearchDiagnostics(const SearchResponse& response);
+
+/// Machine-readable explain document (the `--explain-json` payload):
+/// response summary + timings + the nested span tree. Schema documented
+/// in docs/OBSERVABILITY.md.
+std::string ExplainJson(const SearchResponse& response);
 
 /// Facade over the whole Sec. 4-6 pipeline: merged list -> sliding-window
 /// LCP candidates -> LCE mapping with independent witnesses -> potential
@@ -80,6 +106,10 @@ class GksSearcher {
   const XmlIndex& index() const { return *index_; }
 
  private:
+  /// Pipeline body; runs under the caller-installed TraceCollector.
+  Result<SearchResponse> SearchTraced(const Query& query,
+                                      const SearchOptions& options) const;
+
   const XmlIndex* index_;
 };
 

@@ -5,11 +5,50 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "index/categorizer.h"
 #include "text/analyzer.h"
 #include "xml/sax_parser.h"
 
 namespace gks {
+namespace {
+
+// Registry instruments for the build hot path (millions of node / posting
+// events per document): looked up once, then atomic adds only. See
+// docs/OBSERVABILITY.md for the metric inventory.
+struct BuildMetrics {
+  Counter* documents;
+  Counter* elements;
+  Counter* postings;
+  Counter* text_bytes;
+  Counter* cat_attribute;
+  Counter* cat_entity;
+  Counter* cat_repeating;
+  Counter* cat_connecting;
+  Histogram* document_ms;
+
+  static const BuildMetrics& Get() {
+    static const BuildMetrics metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      BuildMetrics m;
+      m.documents = r.GetCounter("gks.index.documents_total");
+      m.elements = r.GetCounter("gks.index.elements_total");
+      m.postings = r.GetCounter("gks.index.postings_total");
+      m.text_bytes = r.GetCounter("gks.index.text_bytes_total");
+      m.cat_attribute = r.GetCounter("gks.index.categorizer.attribute_total");
+      m.cat_entity = r.GetCounter("gks.index.categorizer.entity_total");
+      m.cat_repeating = r.GetCounter("gks.index.categorizer.repeating_total");
+      m.cat_connecting =
+          r.GetCounter("gks.index.categorizer.connecting_total");
+      m.document_ms = r.GetHistogram("gks.index.build.document_ms");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 /// SAX handler that drives Dewey assignment, the streaming categorizer and
 /// posting emission for one document at a time.
@@ -75,9 +114,12 @@ class IndexBuilder::Handler : public xml::SaxHandler {
     // stay reachable.
     text::AnalyzerOptions tag_options;
     tag_options.remove_stopwords = false;
+    const BuildMetrics& metrics = BuildMetrics::Get();
     for (const std::string& term : text::Analyze(name, tag_options)) {
       index_->inverted.Add(term, id);
+      metrics.postings->Increment();
     }
+    metrics.elements->Increment();
 
     ++doc_info_->element_count;
     uint32_t depth = static_cast<uint32_t>(child_counters_.size()) - 2;
@@ -87,11 +129,14 @@ class IndexBuilder::Handler : public xml::SaxHandler {
   void AddTextToCurrent(std::string_view text) {
     ++child_counters_.back();  // the text segment consumes a child ordinal
     DeweyId id = categorizer_.CurrentId().ToDeweyId();
+    const BuildMetrics& metrics = BuildMetrics::Get();
     for (const std::string& term : text::Analyze(text)) {
       index_->inverted.Add(term, id);
+      metrics.postings->Increment();
     }
     categorizer_.AddText(text);
     doc_info_->text_bytes += text.size();
+    metrics.text_bytes->Add(text.size());
   }
 
   void CloseOneElement() {
@@ -100,6 +145,11 @@ class IndexBuilder::Handler : public xml::SaxHandler {
   }
 
   void OnNodeFacts(const StreamingCategorizer::NodeFacts& facts) {
+    const BuildMetrics& metrics = BuildMetrics::Get();
+    if (facts.flags & kFlagAttribute) metrics.cat_attribute->Increment();
+    if (facts.flags & kFlagEntity) metrics.cat_entity->Increment();
+    if (facts.flags & kFlagRepeating) metrics.cat_repeating->Increment();
+    if (facts.flags & kFlagConnecting) metrics.cat_connecting->Increment();
     NodeInfo info;
     info.flags = facts.flags;
     info.child_count = facts.child_count;
@@ -136,9 +186,15 @@ Status IndexBuilder::AddDocument(std::string_view xml, std::string name) {
   if (index_ == nullptr) {
     return Status::InvalidArgument("builder already finalized");
   }
+  WallTimer timer;
   uint32_t doc_id = index_->catalog.AddDocument(std::move(name));
   handler_->BeginDocument(options_.first_doc_id + doc_id);
   Status status = ParseXml(xml, handler_.get());
+  {
+    const BuildMetrics& metrics = BuildMetrics::Get();
+    metrics.documents->Increment();
+    metrics.document_ms->Observe(timer.ElapsedMillis());
+  }
   if (!status.ok()) {
     // A failed parse leaves the categorizer mid-document; reset it so the
     // builder stays usable. Postings already emitted for the bad document

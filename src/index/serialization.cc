@@ -1,5 +1,7 @@
 #include "index/serialization.h"
 
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "xml/sax_parser.h"
 
 namespace gks {
@@ -10,16 +12,25 @@ constexpr std::string_view kMagic = "GKSIDX01";
 }  // namespace
 
 std::string SerializeIndex(const XmlIndex& index) {
+  WallTimer timer;
   std::string out;
   out.append(kMagic);
   index.catalog.EncodeTo(&out);
   index.nodes.EncodeTo(&out);
   index.attributes.EncodeTo(&out);
   index.inverted.EncodeTo(&out);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("gks.index.serialize.bytes_total")->Add(out.size());
+  registry.GetHistogram("gks.index.serialize.latency_ms")
+      ->Observe(timer.ElapsedMillis());
   return out;
 }
 
 Result<XmlIndex> DeserializeIndex(std::string_view bytes) {
+  WallTimer timer;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("gks.index.deserialize.bytes_total")
+      ->Add(bytes.size());
   if (bytes.size() < kMagic.size() ||
       bytes.substr(0, kMagic.size()) != kMagic) {
     return Status::Corruption("not a GKS index file (bad magic)");
@@ -33,6 +44,8 @@ Result<XmlIndex> DeserializeIndex(std::string_view bytes) {
   if (!bytes.empty()) {
     return Status::Corruption("trailing bytes after index payload");
   }
+  registry.GetHistogram("gks.index.deserialize.latency_ms")
+      ->Observe(timer.ElapsedMillis());
   return index;
 }
 

@@ -1,0 +1,164 @@
+// MetricsRegistry semantics: counter/gauge/histogram behaviour, stable
+// instrument pointers, snapshot/reset/delta, export formats, and exact
+// counts under 8-thread concurrent updates (the registry's lock-free
+// update contract).
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/metrics.h"
+
+namespace gks {
+namespace {
+
+TEST(MetricsTest, CounterBasics) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.events_total");
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 42u);
+  // Find-or-create returns the same instrument.
+  EXPECT_EQ(registry.GetCounter("test.events_total"), counter);
+  EXPECT_NE(registry.GetCounter("test.other_total"), counter);
+}
+
+TEST(MetricsTest, GaugeBasics) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.level");
+  gauge->Set(7);
+  EXPECT_EQ(gauge->value(), 7);
+  gauge->Add(-10);
+  EXPECT_EQ(gauge->value(), -3);
+}
+
+TEST(MetricsTest, HistogramBucketPlacement) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.latency_ms");
+  // Bound layout is 1-2-5: 0.001..10000 plus overflow.
+  EXPECT_EQ(Histogram::BucketIndex(0.0005), 0u);   // <= 0.001
+  EXPECT_EQ(Histogram::BucketIndex(0.001), 0u);    // inclusive upper bound
+  EXPECT_EQ(Histogram::BucketIndex(0.0011), 1u);   // <= 0.002
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 9u);      // <= 1
+  EXPECT_EQ(Histogram::BucketIndex(10000.0), 21u); // last finite bucket
+  EXPECT_EQ(Histogram::BucketIndex(10001.0), 22u); // overflow
+  histogram->Observe(0.5);
+  histogram->Observe(0.5);
+  histogram->Observe(123456.0);
+  EXPECT_EQ(histogram->count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 123457.0);
+  EXPECT_EQ(histogram->bucket(Histogram::BucketIndex(0.5)), 2u);
+  EXPECT_EQ(histogram->bucket(Histogram::kNumBuckets - 1), 1u);
+}
+
+TEST(MetricsTest, HistogramPercentile) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.latency_ms");
+  for (int i = 0; i < 90; ++i) histogram->Observe(0.08);  // bucket <= 0.1
+  for (int i = 0; i < 10; ++i) histogram->Observe(40.0);  // bucket <= 50
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const auto& value = snapshot.histograms.at("test.latency_ms");
+  EXPECT_DOUBLE_EQ(value.Percentile(0.50), 0.1);
+  EXPECT_DOUBLE_EQ(value.Percentile(0.90), 0.1);
+  EXPECT_DOUBLE_EQ(value.Percentile(0.99), 50.0);
+}
+
+TEST(MetricsTest, SnapshotResetKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.events_total");
+  Histogram* histogram = registry.GetHistogram("test.latency_ms");
+  counter->Add(5);
+  histogram->Observe(1.0);
+
+  MetricsSnapshot before = registry.Snapshot();
+  EXPECT_EQ(before.counters.at("test.events_total"), 5u);
+  EXPECT_EQ(before.histograms.at("test.latency_ms").count, 1u);
+
+  registry.Reset();
+  MetricsSnapshot after = registry.Snapshot();
+  // Instruments stay registered (cached pointers survive), values zero.
+  EXPECT_EQ(after.counters.at("test.events_total"), 0u);
+  EXPECT_EQ(after.histograms.at("test.latency_ms").count, 0u);
+  counter->Increment();  // cached pointer still live after Reset
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(MetricsTest, SnapshotDelta) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.events_total");
+  Gauge* gauge = registry.GetGauge("test.level");
+  Histogram* histogram = registry.GetHistogram("test.latency_ms");
+  counter->Add(10);
+  gauge->Set(3);
+  histogram->Observe(0.5);
+  MetricsSnapshot before = registry.Snapshot();
+
+  counter->Add(7);
+  gauge->Set(9);
+  histogram->Observe(0.5);
+  histogram->Observe(200.0);
+  MetricsSnapshot after = registry.Snapshot();
+
+  MetricsSnapshot delta = MetricsSnapshot::Delta(before, after);
+  EXPECT_EQ(delta.counters.at("test.events_total"), 7u);
+  EXPECT_EQ(delta.gauges.at("test.level"), 9);  // gauges keep the level
+  const auto& h = delta.histograms.at("test.latency_ms");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 200.5);
+  EXPECT_EQ(h.buckets[Histogram::BucketIndex(0.5)], 1u);
+  EXPECT_EQ(h.buckets[Histogram::BucketIndex(200.0)], 1u);
+}
+
+TEST(MetricsTest, TextAndJsonExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.events_total")->Add(3);
+  registry.GetGauge("test.level")->Set(-2);
+  registry.GetHistogram("test.latency_ms")->Observe(0.7);
+  MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("test.events_total"), std::string::npos);
+  EXPECT_NE(text.find("histogram"), std::string::npos);
+
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"test.events_total\":3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"test.level\":-2}"), std::string::npos);
+  EXPECT_NE(json.find("\"test.latency_ms\":{\"count\":1"), std::string::npos);
+}
+
+// The acceptance contract: counters and histograms survive 8-thread
+// concurrent updates without losing a single increment.
+TEST(MetricsTest, ConcurrentUpdatesExactCounts) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 50000;
+  MetricsRegistry registry;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Lookups race with updates from sibling threads on purpose: the
+      // find-or-create path must hand every thread the same instrument.
+      Counter* counter = registry.GetCounter("test.concurrent_total");
+      Histogram* histogram = registry.GetHistogram("test.concurrent_ms");
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Increment();
+        histogram->Observe(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  constexpr uint64_t kExpected =
+      static_cast<uint64_t>(kThreads) * kIterations;
+  EXPECT_EQ(registry.GetCounter("test.concurrent_total")->value(), kExpected);
+  Histogram* histogram = registry.GetHistogram("test.concurrent_ms");
+  EXPECT_EQ(histogram->count(), kExpected);
+  EXPECT_DOUBLE_EQ(histogram->sum(), static_cast<double>(kExpected));
+  EXPECT_EQ(histogram->bucket(Histogram::BucketIndex(1.0)), kExpected);
+}
+
+}  // namespace
+}  // namespace gks

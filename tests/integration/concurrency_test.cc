@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "common/metrics.h"
 #include "core/searcher.h"
 #include "data/dblp_gen.h"
 #include "tests/test_util.h"
@@ -61,6 +62,57 @@ TEST(ConcurrencyTest, ParallelSearchesAgree) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// The observability layer under the same harness: 8 threads hammer the
+// *global* registry through real searches (each search feeds the
+// per-stage span histograms and query counters) plus a direct counter,
+// and every increment must be accounted for exactly.
+TEST(ConcurrencyTest, MetricsRegistrySurvivesConcurrentSearches) {
+  data::DblpOptions options;
+  options.articles = 500;
+  XmlIndex index = BuildIndexFromXml(data::GenerateDblp(options));
+
+  constexpr int kThreads = 8;
+  constexpr int kSearchesPerThread = 16;
+  constexpr int kDirectIncrements = 10000;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  MetricsSnapshot before = registry.Snapshot();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&index, &registry, &failures] {
+      GksSearcher searcher(&index);
+      Counter* direct =
+          registry.GetCounter("test.concurrency.direct_total");
+      for (int i = 0; i < kSearchesPerThread; ++i) {
+        SearchOptions search;
+        search.s = 1;
+        Result<SearchResponse> response =
+            searcher.Search("\"Scott Weinstein\"", search);
+        if (!response.ok()) ++failures;
+        for (int j = 0; j < kDirectIncrements / kSearchesPerThread; ++j) {
+          direct->Increment();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  MetricsSnapshot delta =
+      MetricsSnapshot::Delta(before, registry.Snapshot());
+  constexpr uint64_t kSearches =
+      static_cast<uint64_t>(kThreads) * kSearchesPerThread;
+  EXPECT_EQ(delta.counters.at("gks.search.queries_total"), kSearches);
+  EXPECT_EQ(delta.histograms.at("gks.search.total.latency_ms").count,
+            kSearches);
+  EXPECT_EQ(delta.histograms.at("gks.search.merged_list.latency_ms").count,
+            kSearches);
+  EXPECT_EQ(delta.counters.at("test.concurrency.direct_total"),
+            static_cast<uint64_t>(kThreads) * kDirectIncrements);
 }
 
 }  // namespace

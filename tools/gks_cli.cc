@@ -3,11 +3,16 @@
 //   gks index  <out.gksidx> <file.xml...>          build an index
 //   gks search <index.gksidx> "<query>" [--s=N] [--top=N] [--di=M]
 //                                        [--refine] [--schema-reconcile]
+//                                        [--explain] [--explain-json]
+//                                        [--metrics]
 //   gks analyze <index.gksidx> "<query>" [--s=N] [--facets]
 //                                        [--agg=TAG] [--hist=TAG:BUCKETS]
 //   gks schema <index.gksidx>                      DataGuide-style dump
-//   gks stats  <index.gksidx>                      size / category stats
+//   gks stats  <index.gksidx> [--metrics] [--metrics-json]
 //   gks generate <dataset> <out.xml> [--scale=F]   synthetic corpora
+//
+// Full reference: docs/CLI.md; metric and span contract:
+// docs/OBSERVABILITY.md.
 //
 // Queries use double quotes inside the shell-quoted argument for phrases:
 //   gks search dblp.gksidx '"Peter Buneman" "Wenfei Fan"' --s=1
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/analytics.h"
@@ -44,12 +50,13 @@ int Usage() {
       "  gks index  <out.gksidx> <file.xml...>\n"
       "  gks search <index.gksidx> \"<query>\" [--s=N] [--top=N] [--di=M]\n"
       "             [--refine] [--schema-reconcile] [--explain] [--chunks=N]\n"
+      "             [--explain-json] [--metrics]\n"
       "             (keywords may be tag-constrained: year:2001,\n"
       "              author:\"peter buneman\")\n"
       "  gks analyze <index.gksidx> \"<query>\" [--s=N] [--facets]\n"
       "             [--agg=TAG] [--hist=TAG:BUCKETS]\n"
       "  gks schema <index.gksidx>\n"
-      "  gks stats  <index.gksidx>\n"
+      "  gks stats  <index.gksidx> [--metrics] [--metrics-json]\n"
       "  gks generate <dblp|sigmod|mondial|swissprot|interpro|protein|nasa|"
       "treebank> <out.xml> [--scale=F]\n");
   return 2;
@@ -85,6 +92,10 @@ int CmdIndex(const FlagParser& flags) {
               index->inverted.term_count(),
               (unsigned long long)index->inverted.posting_count(),
               timer.ElapsedSeconds());
+  if (flags.GetBool("metrics")) {
+    std::printf("-- metrics --\n%s",
+                MetricsRegistry::Global().Snapshot().ToText().c_str());
+  }
   return 0;
 }
 
@@ -106,12 +117,24 @@ int CmdSearch(const FlagParser& flags) {
   options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
   options.max_results = static_cast<size_t>(flags.GetInt("top", 20));
   options.di_top_m = static_cast<size_t>(flags.GetInt("di", 5));
-  options.suggest_refinements = flags.GetBool("refine");
+  // --explain-json documents the full pipeline, so it runs every stage.
+  options.suggest_refinements =
+      flags.GetBool("refine") || flags.GetBool("explain-json");
 
   GksSearcher searcher(&*index);
   WallTimer timer;
   Result<SearchResponse> response = searcher.Search(args[2], options);
   if (!response.ok()) return Fail(response.status());
+  if (flags.GetBool("explain-json")) {
+    // Machine-readable mode: the span-tree document is the whole output
+    // (docs/OBSERVABILITY.md documents the schema).
+    std::printf("%s\n", ExplainJson(*response).c_str());
+    if (flags.GetBool("metrics")) {
+      std::fputs(MetricsRegistry::Global().Snapshot().ToText().c_str(),
+                 stderr);
+    }
+    return 0;
+  }
   std::printf("%zu nodes (|S_L|=%zu, candidates=%zu, LCE=%zu) in %.2fms\n",
               response->nodes.size(), response->merged_list_size,
               response->candidate_count, response->lce_count,
@@ -146,6 +169,10 @@ int CmdSearch(const FlagParser& flags) {
       std::printf("%s%s", i ? ", " : "", suggestion.keywords[i].c_str());
     }
     std::printf("} (%s)\n", suggestion.rationale.c_str());
+  }
+  if (flags.GetBool("metrics")) {
+    std::printf("-- metrics --\n%s",
+                MetricsRegistry::Global().Snapshot().ToText().c_str());
   }
   return 0;
 }
@@ -237,6 +264,12 @@ int CmdStats(const FlagParser& flags) {
               (unsigned long long)index->inverted.posting_count());
   std::printf("attr dir  : %zu values\n", index->attributes.size());
   std::printf("memory    : %s\n", HumanBytes(index->MemoryUsage()).c_str());
+  if (flags.GetBool("metrics-json")) {
+    std::printf("%s\n", MetricsRegistry::Global().Snapshot().ToJson().c_str());
+  } else if (flags.GetBool("metrics")) {
+    std::printf("-- metrics --\n%s",
+                MetricsRegistry::Global().Snapshot().ToText().c_str());
+  }
   return 0;
 }
 
