@@ -2,11 +2,20 @@
 // replicated x1 / x2 / x3 (as in the paper) and the same query is timed.
 // Expected shape: |S_L|, the number of LCE nodes and the response time all
 // scale linearly with the replication factor.
+//
+// A second sweep scales the *executor* instead of the data: a 100-query
+// batch through GksSearcher::SearchBatch at 1/2/4/8 pool threads on the
+// x2 index (thread scaling is bounded by the machine's core count —
+// the header line prints it).
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "data/names.h"
 
 int main() {
   std::printf("Figure 10: response time vs replicated data size "
@@ -46,5 +55,56 @@ int main() {
   }
   std::printf("\nExpected shape (paper): every column linear in the number "
               "of copies.\n");
+
+  // Thread sweep: same engine, more workers. 100 distinct 3-keyword
+  // queries over the x2 index, best-of-3 per thread count.
+  gks::IndexBuilder builder;
+  for (int c = 0; c < 2; ++c) {
+    if (!builder.AddDocument(xml, "swissprot_" + std::to_string(c) + ".xml")
+             .ok()) {
+      return 1;
+    }
+  }
+  gks::Result<gks::XmlIndex> index = std::move(builder).Finalize();
+  if (!index.ok()) return 1;
+
+  const std::vector<std::string>& words = gks::data::ProteinWords();
+  std::vector<std::string> batch;
+  for (size_t i = 0; i < 100; ++i) {
+    batch.push_back(words[i % words.size()] + " " +
+                    words[(i * 7 + 3) % words.size()] + " " +
+                    words[(i * 13 + 5) % words.size()]);
+  }
+  gks::GksSearcher searcher(&*index);
+  gks::SearchOptions options;
+  options.s = 2;
+  options.discover_di = false;
+  options.suggest_refinements = false;
+
+  std::printf("\nSearchBatch thread sweep (%zu queries, x2 index, hw "
+              "threads=%zu):\n", batch.size(),
+              gks::ThreadPool::DefaultThreads());
+  std::printf("%8s | %10s | %10s | %8s\n", "threads", "RT (ms)", "q/s",
+              "speedup");
+  double sequential_ms = 0.0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    std::unique_ptr<gks::ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<gks::ThreadPool>(threads);
+    double best = 1e99;
+    for (int r = 0; r < 3; ++r) {
+      gks::WallTimer timer;
+      auto responses = searcher.SearchBatch(batch, options, pool.get());
+      for (const auto& response : responses) {
+        if (!response.ok()) return 1;
+      }
+      best = std::min(best, timer.ElapsedMillis());
+    }
+    if (threads == 1) sequential_ms = best;
+    std::printf("%8zu | %10.2f | %10.1f | %7.2fx\n", threads, best,
+                1000.0 * static_cast<double>(batch.size()) / best,
+                sequential_ms / best);
+  }
+  std::printf("Expected shape: q/s rises with threads until the physical "
+              "core count, flat beyond it.\n");
   return 0;
 }

@@ -1,0 +1,132 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/metrics.h"
+
+namespace gks {
+namespace {
+
+// Pool instruments, looked up once (docs/OBSERVABILITY.md).
+struct PoolMetrics {
+  Counter* tasks;
+  Gauge* threads;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return PoolMetrics{r.GetCounter("gks.pool.tasks_total"),
+                         r.GetGauge("gks.pool.threads")};
+    }();
+    return metrics;
+  }
+};
+
+// Set for the lifetime of every worker thread's loop.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  PoolMetrics::Get().threads->Add(static_cast<int64_t>(num_threads));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  PoolMetrics::Get().threads->Add(-static_cast<int64_t>(workers_.size()));
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: Submit-then-destroy must run
+      // every accepted task or ParallelFor waiters would hang.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    PoolMetrics::Get().tasks->Increment();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() == 0 || n == 1 ||
+      ThreadPool::InWorker()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared state outlives this call only through the blocking wait below,
+  // so stack allocation is safe: we never return before every helper task
+  // has finished with it.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t helpers = 0;
+    size_t finished_helpers = 0;
+  } shared;
+
+  auto drain = [&shared, &fn, n] {
+    for (;;) {
+      size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+
+  // One helper per worker, capped by the iteration count — more would just
+  // contend on the claim counter.
+  shared.helpers = std::min(pool->size(), n - 1);
+  for (size_t h = 0; h < shared.helpers; ++h) {
+    pool->Submit([&shared, drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(shared.mu);
+      ++shared.finished_helpers;
+      shared.cv.notify_all();
+    });
+  }
+
+  // The caller claims iterations alongside the helpers: a saturated pool
+  // cannot stall the loop, and a 1-thread pool degrades to ~inline cost.
+  drain();
+
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.cv.wait(lock, [&shared] {
+    return shared.finished_helpers == shared.helpers;
+  });
+}
+
+}  // namespace gks

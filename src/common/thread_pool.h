@@ -1,0 +1,76 @@
+#ifndef GKS_COMMON_THREAD_POOL_H_
+#define GKS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gks {
+
+/// A fixed-size worker pool with one shared FIFO queue (no work stealing:
+/// GKS tasks are coarse — a whole query, a whole document parse — so a
+/// single locked deque never becomes the bottleneck and keeps completion
+/// order easy to reason about). Construction spawns the workers;
+/// destruction drains the queue and joins them.
+///
+/// Submitted tasks must not throw — the engine reports failures through
+/// Status/Result, and an exception escaping a worker would terminate the
+/// process. Tasks may submit further tasks, but must not block on them
+/// (a task waiting for a queued task can deadlock a full pool); use
+/// ParallelFor for blocking fan-out, which lets the calling thread work
+/// the shared items itself.
+///
+/// Observability: `gks.pool.tasks_total` counts executed tasks and
+/// `gks.pool.threads` gauges the number of live workers across all pools
+/// (docs/OBSERVABILITY.md).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultThreads().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  size_t size() const { return workers_.size(); }
+
+  /// Hardware concurrency, never less than 1.
+  static size_t DefaultThreads();
+
+  /// True when the calling thread is a pool worker (any pool). ParallelFor
+  /// uses this to degrade to an inline loop instead of blocking a worker
+  /// on helper tasks that may sit behind it in the queue — which keeps
+  /// nested ParallelFor (a pooled task that itself fans out) deadlock-free
+  /// by construction.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for every i in [0, n), fanning across `pool` and blocking
+/// until all iterations finish. The calling thread claims iterations too,
+/// so progress is guaranteed even on a saturated (or null) pool — with
+/// `pool == nullptr` or an empty range this degenerates to an inline loop.
+/// Iterations are claimed one at a time from a shared atomic counter;
+/// `fn` must be safe to invoke concurrently from multiple threads and, as
+/// with Submit, must not throw.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_THREAD_POOL_H_

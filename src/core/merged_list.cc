@@ -1,12 +1,28 @@
 #include "core/merged_list.h"
 
 #include <algorithm>
-#include <queue>
 
+#include "common/metrics.h"
 #include "text/analyzer.h"
 
 namespace gks {
 namespace {
+
+// Merge-kernel instruments (docs/OBSERVABILITY.md): `gallop_skips` counts
+// entries emitted or skipped via galloping runs instead of per-entry heap
+// or binary-search work — the direct measure of what the kernel saves over
+// the naive O(|S_L| log n) merge.
+struct MergeMetrics {
+  Counter* gallop_skips;
+
+  static const MergeMetrics& Get() {
+    static const MergeMetrics metrics = [] {
+      return MergeMetrics{MetricsRegistry::Global().GetCounter(
+          "gks.search.merge.gallop_skips_total")};
+    }();
+    return metrics;
+  }
+};
 
 // True if the element's tag satisfies the atom's constraint. Tags are
 // stored raw ("Course"); the constraint is analyzed, so compare through
@@ -59,13 +75,20 @@ PackedIds AtomOccurrences(const XmlIndex& index, const QueryAtom& atom) {
         return a->size() < b->size();
       });
 
+  // Phrase intersection drives a cursor per token list: the candidate ids
+  // come off the smallest list in document order, so each other list only
+  // ever gallops forward from its previous position — O(log gap) per
+  // candidate instead of a full O(log n) binary search per candidate.
+  std::vector<size_t> cursors(lists.size(), 0);
   TagConstraintMatcher matcher(index, atom.tag_constraint);
   for (size_t i = 0; i < smallest->size(); ++i) {
     DeweySpan id = smallest->At(i);
     bool in_all = true;
-    for (const PostingList* list : lists) {
+    for (size_t l = 0; l < lists.size(); ++l) {
+      const PostingList* list = lists[l];
       if (list == smallest) continue;
-      size_t pos = list->SubtreeBegin(id);
+      size_t pos = list->LowerBoundFrom(id, cursors[l]);
+      cursors[l] = pos;
       if (pos >= list->size() || list->At(pos).Compare(id) != 0) {
         in_all = false;
         break;
@@ -90,30 +113,137 @@ MergedList MergedList::Build(const XmlIndex& index, const Query& query) {
     if (lists[i].size() > 0) out.present_atoms_ |= 1ull << i;
   }
 
-  // K-way merge with a min-heap of (list, position) cursors.
+  // Cursor-based k-way merge with galloping run copies. A binary min-heap
+  // of (list, position) cursors orders the heads (equal ids tie-break on
+  // the lower list index, preserving the historical deterministic order);
+  // after popping the minimum, the winning list is advanced by a *whole
+  // run* — a gallop finds how far it stays below the runner-up, and the
+  // run is block-copied without touching the heap. Skewed workloads (one
+  // long list among short ones, the fig8 shape) degenerate to memcpy-like
+  // streaming instead of per-entry heap sifts.
   struct Cursor {
     uint32_t list;
     size_t pos;
   };
-  auto greater = [&lists](const Cursor& a, const Cursor& b) {
+  auto before = [&lists](const Cursor& a, const Cursor& b) {
     int cmp = lists[a.list].At(a.pos).Compare(lists[b.list].At(b.pos));
-    if (cmp != 0) return cmp > 0;
-    return a.list > b.list;  // deterministic tie-break for equal ids
+    if (cmp != 0) return cmp < 0;
+    return a.list < b.list;  // deterministic tie-break for equal ids
   };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
-      greater);
+
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
   for (uint32_t i = 0; i < lists.size(); ++i) {
-    if (lists[i].size() > 0) heap.push(Cursor{i, 0});
+    if (lists[i].size() > 0) heap.push_back(Cursor{i, 0});
   }
+  // Manual replace-top heap: after the root's cursor advances it is sifted
+  // down in place — one sift per emitted run instead of the pop+push pair
+  // (sift-down + sift-up) a std heap pays per entry.
+  auto sift_down = [&heap, &before](size_t i) {
+    const size_t n = heap.size();
+    const Cursor value = heap[i];
+    while (true) {
+      size_t best = 2 * i + 1;
+      if (best >= n) break;
+      const size_t right = best + 1;
+      if (right < n && before(heap[right], heap[best])) best = right;
+      if (!before(heap[best], value)) break;
+      heap[i] = heap[best];
+      i = best;
+    }
+    heap[i] = value;
+  };
+  if (heap.size() > 1) {
+    for (size_t i = heap.size() / 2; i-- > 0;) sift_down(i);
+  }
+
+  size_t total = 0;
+  size_t total_components = 0;
+  for (const PackedIds& list : lists) {
+    total += list.size();
+    total_components += list.component_count();
+  }
+  out.ids_.Reserve(total, total_components);
+  out.atoms_.reserve(total);
+
+  // Adaptive galloping (the timsort discipline): while the winning list
+  // keeps winning, each next entry costs ONE direct compare against the
+  // runner-up's head instead of a heap pop+push (~2 log k compares); after
+  // kMinGallop consecutive wins the rest of the run is located by an
+  // exponential search and block-copied. Interleaved lists therefore cost
+  // no more than the plain heap merge, skewed lists degenerate to
+  // memcpy-like streaming.
+  constexpr size_t kMinGallop = 4;
+  uint64_t gallop_skips = 0;
   while (!heap.empty()) {
-    Cursor top = heap.top();
-    heap.pop();
-    out.ids_.Add(lists[top.list].At(top.pos));
-    out.atoms_.push_back(top.list);
-    if (top.pos + 1 < lists[top.list].size()) {
-      heap.push(Cursor{top.list, top.pos + 1});
+    const Cursor top = heap[0];
+    const PackedIds& list = lists[top.list];
+
+    // Find the end of the winner's run: everything up to (or through, on a
+    // tie it wins) the runner-up's head. The current minimum itself always
+    // belongs to the run. In a binary heap the runner-up is simply the
+    // smaller of the root's children, so the gallop bound costs at most
+    // one extra comparison.
+    size_t run_end;
+    size_t next = 0;  // runner-up child index while the heap has >1 cursor
+    if (heap.size() == 1) {  // last list standing: the tail is one run
+      run_end = list.size();
+    } else {
+      next = 1;
+      if (heap.size() > 2 && before(heap[2], heap[1])) next = 2;
+      DeweySpan bound = lists[heap[next].list].At(heap[next].pos);
+      // Ties go to the lower list index, so the winner may emit entries
+      // equal to the runner-up's head only when its own index is lower.
+      const bool wins_ties = top.list < heap[next].list;
+
+      run_end = top.pos + 1;
+      bool gallop = true;
+      while (run_end < list.size()) {
+        if (run_end - top.pos > kMinGallop) break;  // streak: gallop the rest
+        int cmp = list.At(run_end).Compare(bound);
+        if (cmp > 0 || (cmp == 0 && !wins_ties)) {
+          gallop = false;
+          break;
+        }
+        ++run_end;
+      }
+      if (gallop && run_end < list.size()) {
+        run_end = wins_ties ? list.UpperBoundFrom(bound, run_end)
+                            : list.LowerBoundFrom(bound, run_end);
+      }
+    }
+
+    out.ids_.AppendRange(list, top.pos, run_end);
+    out.atoms_.insert(out.atoms_.end(), run_end - top.pos, top.list);
+    gallop_skips += run_end - top.pos - 1;
+    if (run_end == list.size()) {
+      heap[0] = heap.back();
+      heap.pop_back();
+      if (heap.size() > 1) sift_down(0);
+    } else if (heap.size() > 1) {
+      // Replace-top: advance the root's cursor in place. The run scan
+      // already proved the runner-up child precedes the advanced head, so
+      // hoist it into the root for free and sift from one level down.
+      const Cursor value{top.list, run_end};
+      heap[0] = heap[next];
+      size_t i = next;
+      while (true) {
+        size_t best = 2 * i + 1;
+        if (best >= heap.size()) break;
+        const size_t right = best + 1;
+        if (right < heap.size() && before(heap[right], heap[best])) {
+          best = right;
+        }
+        if (!before(heap[best], value)) break;
+        heap[i] = heap[best];
+        i = best;
+      }
+      heap[i] = value;
+    } else {
+      heap[0].pos = run_end;
     }
   }
+  if (gallop_skips > 0) MergeMetrics::Get().gallop_skips->Add(gallop_skips);
   return out;
 }
 

@@ -24,7 +24,13 @@ PackedIds AtomOccurrences(const XmlIndex& index, const QueryAtom& atom);
 
 class MergedList {
  public:
-  /// Builds S_L for `query` against `index` in O(d * |S_L| * log n).
+  /// Builds S_L for `query` against `index` with a cursor-based k-way
+  /// merge: galloping (exponential-search) cursor advance replaces the
+  /// historical per-entry binary search, so the cost is
+  /// O(|S_L| + sum over runs of log(run length) * log k) — linear when
+  /// the lists are skewed and runs are long (see docs/PERFORMANCE.md).
+  /// Output order is deterministic: document order, ties between atoms
+  /// broken by ascending atom index.
   static MergedList Build(const XmlIndex& index, const Query& query);
 
   size_t size() const { return ids_.size(); }

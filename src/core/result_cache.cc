@@ -1,0 +1,105 @@
+#include "core/result_cache.h"
+
+#include "common/metrics.h"
+
+namespace gks {
+namespace {
+
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return CacheMetrics{r.GetCounter("gks.search.cache.hits_total"),
+                          r.GetCounter("gks.search.cache.misses_total"),
+                          r.GetCounter("gks.search.cache.evictions_total")};
+    }();
+    return metrics;
+  }
+};
+
+void AppendField(std::string* key, uint64_t value) {
+  key->push_back('\x1f');  // unit separator: cannot occur in query text
+  key->append(std::to_string(value));
+}
+
+}  // namespace
+
+QueryResultCache::QueryResultCache(size_t capacity, size_t shards)
+    : per_shard_capacity_((capacity + shards - 1) / (shards == 0 ? 1 : shards)),
+      shards_(shards == 0 ? 1 : shards) {
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+}
+
+std::string QueryResultCache::MakeKey(const std::string& normalized_query,
+                                      const SearchOptions& options,
+                                      uint64_t epoch) {
+  std::string key = normalized_query;
+  AppendField(&key, options.s);
+  AppendField(&key, options.max_results);
+  AppendField(&key, options.di_top_m);
+  AppendField(&key, options.discover_di ? 1 : 0);
+  AppendField(&key, options.suggest_refinements ? 1 : 0);
+  AppendField(&key, epoch);
+  return key;
+}
+
+QueryResultCache::Shard& QueryResultCache::ShardFor(const std::string& key) {
+  size_t hash = TransparentStringHash()(key);
+  return shards_[hash % shards_.size()];
+}
+
+bool QueryResultCache::Get(const std::string& key, SearchResponse* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    CacheMetrics::Get().misses->Increment();
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->response;
+  CacheMetrics::Get().hits->Increment();
+  return true;
+}
+
+void QueryResultCache::Put(const std::string& key,
+                           const SearchResponse& response) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->response = response;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    CacheMetrics::Get().evictions->Increment();
+  }
+  shard.lru.push_front(Entry{key, response});
+  shard.map.emplace(key, shard.lru.begin());
+}
+
+void QueryResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+  }
+}
+
+size_t QueryResultCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace gks

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "common/json_writer.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
 
 #include "core/merged_list.h"
+#include "core/result_cache.h"
 #include "core/window_scan.h"
 
 namespace gks {
@@ -31,6 +34,23 @@ void FinishTimings(const WallTimer& total_timer, SearchResponse* response) {
   registry.GetHistogram("gks.search.total.latency_ms")->Observe(t.total_ms);
   registry.GetCounter("gks.search.nodes_total")
       ->Add(response->nodes.size());
+}
+
+// Canonical cache-key form of a parsed query: analyzed terms (lowercased,
+// stemmed, whitespace-collapsed) plus tag constraints — NOT Query::ToString,
+// which preserves the raw spelling ("XML  Data" must hit "xml data").
+// Control separators cannot occur in analyzed tokens.
+std::string NormalizedQueryText(const Query& query) {
+  std::string out;
+  for (const QueryAtom& atom : query.atoms()) {
+    if (!out.empty()) out.push_back('\x01');
+    out += atom.tag_constraint;
+    for (const std::string& term : atom.terms) {
+      out.push_back('\x02');
+      out += term;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -100,12 +120,20 @@ Result<SearchResponse> GksSearcher::SearchTraced(
 
 Result<SearchResponse> GksSearcher::Search(const Query& query,
                                            const SearchOptions& options) const {
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key = QueryResultCache::MakeKey(NormalizedQueryText(query), options,
+                                          index_->epoch);
+    SearchResponse cached;
+    if (cache_->Get(cache_key, &cached)) return cached;
+  }
   WallTimer total_timer;
   TraceCollector collector("gks.search");
   Result<SearchResponse> response = SearchTraced(query, options);
   if (!response.ok()) return response;
   response->trace = collector.Finish();
   FinishTimings(total_timer, &*response);
+  if (cache_ != nullptr) cache_->Put(cache_key, *response);
   return response;
 }
 
@@ -118,11 +146,42 @@ Result<SearchResponse> GksSearcher::Search(std::string_view query_text,
     return Query::Parse(query_text);
   }();
   if (!query.ok()) return query.status();
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    // The analyzed form makes equivalent spellings share one entry, and
+    // the epoch pins the index state.
+    cache_key = QueryResultCache::MakeKey(NormalizedQueryText(*query), options,
+                                          index_->epoch);
+    SearchResponse cached;
+    if (cache_->Get(cache_key, &cached)) return cached;
+  }
   Result<SearchResponse> response = SearchTraced(*query, options);
   if (!response.ok()) return response;
   response->trace = collector.Finish();
   FinishTimings(total_timer, &*response);
+  if (cache_ != nullptr) cache_->Put(cache_key, *response);
   return response;
+}
+
+std::vector<Result<SearchResponse>> GksSearcher::SearchBatch(
+    const std::vector<std::string>& query_texts, const SearchOptions& options,
+    ThreadPool* pool) const {
+  MetricsRegistry::Global()
+      .GetCounter("gks.search.batch.queries_total")
+      ->Add(query_texts.size());
+  // Result<T> has no default constructor; stage through optionals so each
+  // worker constructs its slot exactly once.
+  std::vector<std::optional<Result<SearchResponse>>> scratch(
+      query_texts.size());
+  ParallelFor(pool, query_texts.size(), [&](size_t i) {
+    scratch[i].emplace(Search(query_texts[i], options));
+  });
+  std::vector<Result<SearchResponse>> responses;
+  responses.reserve(scratch.size());
+  for (std::optional<Result<SearchResponse>>& slot : scratch) {
+    responses.push_back(std::move(*slot));
+  }
+  return responses;
 }
 
 std::string FormatSearchDiagnostics(const SearchResponse& response) {

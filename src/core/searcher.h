@@ -16,6 +16,9 @@
 
 namespace gks {
 
+class QueryResultCache;  // core/result_cache.h (includes this header)
+class ThreadPool;        // common/thread_pool.h
+
 struct SearchOptions {
   /// Minimum number of distinct query keywords a node's subtree must
   /// contain (the paper's s). Clamped to min(s, |Q|); 0 means s = |Q|
@@ -91,11 +94,29 @@ class GksSearcher {
   /// `index` must outlive the searcher.
   explicit GksSearcher(const XmlIndex* index) : index_(index) {}
 
+  /// Attaches an optional response cache shared by Search/SearchBatch.
+  /// The cache may be shared across searchers and threads; entries are
+  /// keyed by (normalized query, options, index epoch), so a cached hit
+  /// returns the full response of the equivalent cold search — including
+  /// its recorded trace and timings (docs/PERFORMANCE.md). Pass nullptr
+  /// to detach.
+  void set_cache(QueryResultCache* cache) { cache_ = cache; }
+  QueryResultCache* cache() const { return cache_; }
+
   Result<SearchResponse> Search(const Query& query,
                                 const SearchOptions& options = {}) const;
   /// Parses `query_text` (quotes delimit phrases) and searches.
   Result<SearchResponse> Search(std::string_view query_text,
                                 const SearchOptions& options = {}) const;
+
+  /// Answers a batch of text queries, fanning them across `pool` (inline
+  /// when null — the searcher is stateless and const, so each query is
+  /// independent). Responses are positionally aligned with `query_texts`
+  /// and identical to what sequential Search calls would return; with a
+  /// cache attached, all workers share it.
+  std::vector<Result<SearchResponse>> SearchBatch(
+      const std::vector<std::string>& query_texts,
+      const SearchOptions& options, ThreadPool* pool) const;
 
   /// Recursive DI discovery (Sec. 2.3): round 0 returns DI^0 for `query`;
   /// each later round feeds the previous round's top-m DI values back as
@@ -111,6 +132,7 @@ class GksSearcher {
                                       const SearchOptions& options) const;
 
   const XmlIndex* index_;
+  QueryResultCache* cache_ = nullptr;
 };
 
 /// One-line description of a response node for CLIs and examples:

@@ -211,10 +211,14 @@ Status IndexBuilder::AddFile(const std::string& path) {
 }
 
 Result<XmlIndex> IndexBuilder::Finalize() && {
+  return std::move(*this).Finalize(nullptr);
+}
+
+Result<XmlIndex> IndexBuilder::Finalize(ThreadPool* pool) && {
   if (index_ == nullptr) {
     return Status::InvalidArgument("builder already finalized");
   }
-  index_->inverted.Finalize();
+  index_->inverted.Finalize(pool);
   index_->attributes.Finalize();
   XmlIndex result = std::move(*index_);
   index_.reset();

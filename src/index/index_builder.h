@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "index/xml_index.h"
 
 namespace gks {
@@ -48,8 +49,11 @@ class IndexBuilder {
   /// Reads and indexes the file at `path` (catalog name = path).
   Status AddFile(const std::string& path);
 
-  /// Completes the index. The builder is consumed.
+  /// Completes the index. The builder is consumed. With a pool, the
+  /// per-keyword posting sorts fan out across its workers (the result is
+  /// identical to the sequential finalize).
   Result<XmlIndex> Finalize() &&;
+  Result<XmlIndex> Finalize(ThreadPool* pool) &&;
 
  private:
   class Handler;

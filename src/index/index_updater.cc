@@ -7,21 +7,7 @@
 
 namespace gks {
 
-Status AppendDocument(XmlIndex* index, std::string_view xml,
-                      std::string name) {
-  const uint32_t base_doc_id =
-      static_cast<uint32_t>(index->catalog.document_count());
-
-  // Build a standalone delta index whose Dewey ids already carry the final
-  // (offset) document id.
-  IndexBuilderOptions options;
-  options.first_doc_id = base_doc_id;
-  IndexBuilder builder(options);
-  GKS_RETURN_IF_ERROR(builder.AddDocument(xml, std::move(name)));
-  Result<XmlIndex> delta_result = std::move(builder).Finalize();
-  GKS_RETURN_IF_ERROR(delta_result.status());
-  XmlIndex& delta = *delta_result;
-
+Status MergeDeltaIndex(XmlIndex* index, XmlIndex&& delta) {
   // Catalog: the delta holds exactly one document.
   uint32_t new_id =
       index->catalog.AddDocument(delta.catalog.document(0).name);
@@ -29,6 +15,9 @@ Status AppendDocument(XmlIndex* index, std::string_view xml,
   (void)new_id;
 
   // Dictionaries: remap the delta's dense tag/value ids into the target's.
+  // Iterating in dense-id order interns exactly in the delta's encounter
+  // order, which is what keeps a delta-merged build byte-identical to a
+  // sequential one (see BuildIndexParallel).
   std::vector<uint32_t> tag_map(delta.nodes.tag_count());
   for (uint32_t tag = 0; tag < delta.nodes.tag_count(); ++tag) {
     tag_map[tag] = index->nodes.InternTag(delta.nodes.TagName(tag));
@@ -65,6 +54,26 @@ Status AppendDocument(XmlIndex* index, std::string_view xml,
     merge_status = index->inverted.MutableList(term)->ExtendWith(list);
   });
   return merge_status;
+}
+
+Status AppendDocument(XmlIndex* index, std::string_view xml,
+                      std::string name) {
+  const uint32_t base_doc_id =
+      static_cast<uint32_t>(index->catalog.document_count());
+
+  // Build a standalone delta index whose Dewey ids already carry the final
+  // (offset) document id.
+  IndexBuilderOptions options;
+  options.first_doc_id = base_doc_id;
+  IndexBuilder builder(options);
+  GKS_RETURN_IF_ERROR(builder.AddDocument(xml, std::move(name)));
+  Result<XmlIndex> delta_result = std::move(builder).Finalize();
+  GKS_RETURN_IF_ERROR(delta_result.status());
+
+  GKS_RETURN_IF_ERROR(MergeDeltaIndex(index, std::move(*delta_result)));
+  // The index changed: cached responses keyed to the old epoch are stale.
+  ++index->epoch;
+  return Status::OK();
 }
 
 Status AppendFile(XmlIndex* index, const std::string& path) {

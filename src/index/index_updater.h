@@ -20,11 +20,22 @@ namespace gks {
 /// index's interning tables; categorization of the *new* document is
 /// computed exactly as in a fresh build (existing documents are untouched
 /// — categories are per-instance, so they cannot change).
+///
+/// Every successful append bumps `index->epoch`, invalidating
+/// QueryResultCache entries keyed against the previous state.
 Status AppendDocument(XmlIndex* index, std::string_view xml,
                       std::string name);
 
 /// Reads and appends the file at `path`.
 Status AppendFile(XmlIndex* index, const std::string& path);
+
+/// Merges a finalized single-document delta index (whose Dewey ids already
+/// carry a document id larger than every document in `index`) into
+/// `index`: catalog entry, remapped dictionaries and node table, attribute
+/// directory and posting-list concatenation. Shared by AppendDocument and
+/// the parallel index build; does NOT bump the epoch (AppendDocument
+/// does, and a fresh parallel build has no stale readers).
+Status MergeDeltaIndex(XmlIndex* index, XmlIndex&& delta);
 
 }  // namespace gks
 

@@ -1,5 +1,7 @@
 #include "index/inverted_index.h"
 
+#include <algorithm>
+
 #include "common/varint.h"
 
 namespace gks {
@@ -12,11 +14,26 @@ void InvertedIndex::Add(std::string_view term, const DeweyId& id) {
   it->second.Add(id);
 }
 
-void InvertedIndex::Finalize() {
+void InvertedIndex::Finalize(ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || lists_.size() < 2) {
+    for (auto& [term, list] : lists_) {
+      (void)term;
+      list.Finalize();
+    }
+    return;
+  }
+  // Per-keyword sorts are independent; fan them across the pool. The
+  // gather order is the map's iteration order, but every schedule produces
+  // the same per-list result, so finalization stays deterministic.
+  std::vector<PostingList*> lists;
+  lists.reserve(lists_.size());
   for (auto& [term, list] : lists_) {
     (void)term;
-    list.Finalize();
+    lists.push_back(&list);
   }
+  ParallelFor(pool, lists.size(), [&lists](size_t i) {
+    lists[i]->Finalize();
+  });
 }
 
 const PostingList* InvertedIndex::Find(std::string_view term) const {
@@ -51,10 +68,23 @@ size_t InvertedIndex::MemoryUsage() const {
 }
 
 void InvertedIndex::EncodeTo(std::string* dst) const {
-  PutVarint64(dst, lists_.size());
+  // Emit terms in lexicographic order: the serialized index is then a
+  // deterministic function of the logical contents, independent of hash-map
+  // iteration or build schedule — what lets the parallel build be verified
+  // byte-identical against the sequential one, and keeps on-disk indexes
+  // diffable across runs.
+  std::vector<const std::string*> terms;
+  terms.reserve(lists_.size());
   for (const auto& [term, list] : lists_) {
-    PutLengthPrefixed(dst, term);
-    list.EncodeTo(dst);
+    (void)list;
+    terms.push_back(&term);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  PutVarint64(dst, lists_.size());
+  for (const std::string* term : terms) {
+    PutLengthPrefixed(dst, *term);
+    lists_.find(*term)->second.EncodeTo(dst);
   }
 }
 

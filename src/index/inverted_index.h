@@ -8,6 +8,7 @@
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "dewey/dewey_id.h"
 #include "index/posting_list.h"
 
@@ -26,8 +27,10 @@ class InvertedIndex {
   void Add(std::string_view term, const DeweyId& id);
 
   /// Sorts and deduplicates every list. Must be called once after the last
-  /// Add and before any Find.
-  void Finalize();
+  /// Add and before any Find. With a pool, the per-keyword sorts fan out
+  /// across its workers (each list's finalize is independent, so the
+  /// result is identical regardless of scheduling).
+  void Finalize(ThreadPool* pool = nullptr);
 
   /// Posting list for `term`, or nullptr if the term never occurs.
   const PostingList* Find(std::string_view term) const;

@@ -38,6 +38,19 @@ void PackedIds::Add(DeweySpan span) {
   offsets_.push_back(static_cast<uint32_t>(components_.size()));
 }
 
+void PackedIds::AppendRange(const PackedIds& src, size_t begin, size_t end) {
+  if (begin >= end) return;
+  const uint32_t src_base = src.offsets_[begin];
+  const uint32_t dst_base = static_cast<uint32_t>(components_.size());
+  components_.insert(components_.end(),
+                     src.components_.begin() + src_base,
+                     src.components_.begin() + src.offsets_[end]);
+  offsets_.reserve(offsets_.size() + (end - begin));
+  for (size_t i = begin + 1; i <= end; ++i) {
+    offsets_.push_back(dst_base + (src.offsets_[i] - src_base));
+  }
+}
+
 std::vector<uint32_t> PackedIds::SortPermutation() const {
   std::vector<uint32_t> perm(size());
   std::iota(perm.begin(), perm.end(), 0u);
@@ -53,6 +66,59 @@ void PackedIds::ApplyPermutation(const std::vector<uint32_t>& perm) {
   sorted.offsets_.reserve(offsets_.size());
   for (uint32_t i : perm) sorted.Add(At(i));
   *this = std::move(sorted);
+}
+
+namespace {
+
+// Shared gallop skeleton: `before(i)` is true while entry i sorts before
+// the answer. Doubling probes from `from` bracket the answer in
+// O(log distance), then a binary search inside the bracket pins it.
+template <typename Before>
+size_t GallopSearch(size_t from, size_t size, const Before& before) {
+  if (from >= size || !before(from)) return from;
+  size_t step = 1;
+  size_t lo = from;  // invariant: before(lo)
+  while (lo + step < size && before(lo + step)) {
+    lo += step;
+    step *= 2;
+  }
+  size_t hi = std::min(lo + step, size);  // !before(hi) or hi == size
+  ++lo;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (before(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+size_t PackedIds::SubtreeBeginFrom(DeweySpan prefix, size_t from) const {
+  return GallopSearch(from, size(), [this, prefix](size_t i) {
+    return At(i).CompareToSubtree(prefix) < 0;
+  });
+}
+
+size_t PackedIds::SubtreeEndFrom(DeweySpan prefix, size_t from) const {
+  return GallopSearch(from, size(), [this, prefix](size_t i) {
+    return At(i).CompareToSubtree(prefix) <= 0;
+  });
+}
+
+size_t PackedIds::LowerBoundFrom(DeweySpan id, size_t from) const {
+  return GallopSearch(from, size(), [this, id](size_t i) {
+    return At(i).Compare(id) < 0;
+  });
+}
+
+size_t PackedIds::UpperBoundFrom(DeweySpan id, size_t from) const {
+  return GallopSearch(from, size(), [this, id](size_t i) {
+    return At(i).Compare(id) <= 0;
+  });
 }
 
 size_t PackedIds::SubtreeBegin(DeweySpan prefix) const {

@@ -54,6 +54,20 @@ class PackedIds {
   void Add(const DeweyId& id) { Add(DeweySpan::Of(id)); }
   void Add(DeweySpan span);
 
+  /// Pre-sizes the backing arrays for `ids` ids totalling `components`
+  /// path components (bulk-merge fast path).
+  void Reserve(size_t ids, size_t components) {
+    offsets_.reserve(ids + 1);
+    components_.reserve(components);
+  }
+
+  /// Appends ids [begin, end) of `src` in one block copy — the run-emission
+  /// fast path of the k-way merge. `src` must not alias this container.
+  void AppendRange(const PackedIds& src, size_t begin, size_t end);
+
+  /// Total path components stored across all ids.
+  size_t component_count() const { return components_.size(); }
+
   size_t size() const { return offsets_.size() - 1; }
   bool empty() const { return size() == 0; }
 
@@ -73,6 +87,20 @@ class PackedIds {
   /// contiguous range of all self-or-descendants of `prefix`.
   size_t SubtreeBegin(DeweySpan prefix) const;
   size_t SubtreeEnd(DeweySpan prefix) const;
+
+  /// Galloping (exponential-search) variants for cursor-based scans: the
+  /// answer is found in O(log distance) probes from `from` instead of
+  /// O(log size) from scratch, so walking a sorted list of ascending
+  /// probes costs O(log gap) per step. `from` must be <= the answer
+  /// (callers pass their last cursor position); results equal the
+  /// from-scratch variants.
+  size_t SubtreeBeginFrom(DeweySpan prefix, size_t from) const;
+  size_t SubtreeEndFrom(DeweySpan prefix, size_t from) const;
+
+  /// First index i >= from with At(i) >= id in document order (galloping).
+  size_t LowerBoundFrom(DeweySpan id, size_t from) const;
+  /// First index i >= from with At(i) > id in document order (galloping).
+  size_t UpperBoundFrom(DeweySpan id, size_t from) const;
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(std::string_view* input, PackedIds* out);
@@ -107,6 +135,14 @@ class PostingList {
     return ids_.SubtreeBegin(prefix);
   }
   size_t SubtreeEnd(DeweySpan prefix) const { return ids_.SubtreeEnd(prefix); }
+
+  /// Galloping cursor-based variants (see PackedIds).
+  size_t LowerBoundFrom(DeweySpan id, size_t from) const {
+    return ids_.LowerBoundFrom(id, from);
+  }
+  size_t UpperBoundFrom(DeweySpan id, size_t from) const {
+    return ids_.UpperBoundFrom(id, from);
+  }
 
   /// True if any posting lies in the subtree of `prefix` (sorted lists only).
   bool ContainsInSubtree(DeweySpan prefix) const {

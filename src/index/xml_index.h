@@ -19,6 +19,14 @@ struct XmlIndex {
   AttrDirectory attributes;
   Catalog catalog;
 
+  /// Mutation epoch: bumped by every in-place mutation (IndexUpdater
+  /// appends, schema reconciliation) so epoch-keyed consumers — the
+  /// QueryResultCache above all — never serve results computed against an
+  /// older state. A runtime-only concept: not serialized, loads start at 0.
+  /// Mutators already require external exclusion against concurrent
+  /// readers, so a plain integer suffices.
+  uint64_t epoch = 0;
+
   /// Approximate in-memory footprint — the paper's "Index Size" column.
   size_t MemoryUsage() const {
     return inverted.MemoryUsage() + nodes.MemoryUsage() +

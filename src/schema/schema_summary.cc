@@ -110,6 +110,11 @@ SchemaReconciliation ApplySchemaCategorization(const SchemaSummary& summary,
       if (flags & kFlagAttribute) ++stats.promoted_attributes;
     }
   }
+  // Category flags feed ranking and DI: cached responses computed before
+  // the reconciliation are stale.
+  if (stats.promoted_entities + stats.promoted_attributes > 0) {
+    ++index->epoch;
+  }
   return stats;
 }
 

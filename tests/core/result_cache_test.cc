@@ -1,0 +1,143 @@
+#include "core/result_cache.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/metrics.h"
+#include "tests/test_util.h"
+
+namespace gks {
+namespace {
+
+SearchResponse MakeResponse(size_t marker) {
+  SearchResponse response;
+  response.merged_list_size = marker;
+  response.effective_s = static_cast<uint32_t>(marker);
+  return response;
+}
+
+TEST(QueryResultCacheTest, MakeKeyDistinguishesAllComponents) {
+  SearchOptions base;
+  std::string key = QueryResultCache::MakeKey("xml data", base, 0);
+  EXPECT_EQ(key, QueryResultCache::MakeKey("xml data", base, 0));
+
+  EXPECT_NE(key, QueryResultCache::MakeKey("xml database", base, 0));
+  EXPECT_NE(key, QueryResultCache::MakeKey("xml data", base, 1));
+
+  SearchOptions changed = base;
+  changed.s = 2;
+  EXPECT_NE(key, QueryResultCache::MakeKey("xml data", changed, 0));
+  changed = base;
+  changed.max_results = 7;
+  EXPECT_NE(key, QueryResultCache::MakeKey("xml data", changed, 0));
+  changed = base;
+  changed.di_top_m = 9;
+  EXPECT_NE(key, QueryResultCache::MakeKey("xml data", changed, 0));
+  changed = base;
+  changed.discover_di = false;
+  EXPECT_NE(key, QueryResultCache::MakeKey("xml data", changed, 0));
+  changed = base;
+  changed.suggest_refinements = !base.suggest_refinements;
+  EXPECT_NE(key, QueryResultCache::MakeKey("xml data", changed, 0));
+}
+
+TEST(QueryResultCacheTest, GetReturnsPutResponse) {
+  QueryResultCache cache(16);
+  EXPECT_GE(cache.capacity(), 16u);
+  SearchResponse out;
+  EXPECT_FALSE(cache.Get("k1", &out));
+  cache.Put("k1", MakeResponse(42));
+  ASSERT_TRUE(cache.Get("k1", &out));
+  EXPECT_EQ(out.merged_list_size, 42u);
+  EXPECT_EQ(out.effective_s, 42u);
+}
+
+TEST(QueryResultCacheTest, PutRefreshesExistingKey) {
+  QueryResultCache cache(16);
+  cache.Put("k", MakeResponse(1));
+  cache.Put("k", MakeResponse(2));
+  SearchResponse out;
+  ASSERT_TRUE(cache.Get("k", &out));
+  EXPECT_EQ(out.merged_list_size, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryResultCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard makes the LRU order fully observable.
+  QueryResultCache cache(/*capacity=*/2, /*shards=*/1);
+  Counter* evictions = MetricsRegistry::Global().GetCounter(
+      "gks.search.cache.evictions_total");
+  uint64_t evictions_before = evictions->value();
+
+  cache.Put("a", MakeResponse(1));
+  cache.Put("b", MakeResponse(2));
+  SearchResponse out;
+  ASSERT_TRUE(cache.Get("a", &out));  // refresh: "b" is now the LRU entry
+  cache.Put("c", MakeResponse(3));    // evicts "b"
+
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_FALSE(cache.Get("b", &out));
+  EXPECT_TRUE(cache.Get("c", &out));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(evictions->value(), evictions_before + 1);
+}
+
+TEST(QueryResultCacheTest, ClearDropsEverything) {
+  QueryResultCache cache(16);
+  cache.Put("a", MakeResponse(1));
+  cache.Put("b", MakeResponse(2));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  SearchResponse out;
+  EXPECT_FALSE(cache.Get("a", &out));
+}
+
+TEST(QueryResultCacheTest, HitAndMissCountersMove) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* hits = registry.GetCounter("gks.search.cache.hits_total");
+  Counter* misses = registry.GetCounter("gks.search.cache.misses_total");
+  uint64_t hits_before = hits->value();
+  uint64_t misses_before = misses->value();
+
+  QueryResultCache cache(8);
+  SearchResponse out;
+  EXPECT_FALSE(cache.Get("missing", &out));
+  cache.Put("present", MakeResponse(5));
+  EXPECT_TRUE(cache.Get("present", &out));
+
+  EXPECT_EQ(misses->value(), misses_before + 1);
+  EXPECT_EQ(hits->value(), hits_before + 1);
+}
+
+TEST(QueryResultCacheTest, CachedHitMatchesColdSearchFields) {
+  using gks::testing::BuildIndexFromXml;
+  XmlIndex index = BuildIndexFromXml(R"(<bib>
+      <article><title>xml data management</title>
+        <author>ada lovelace</author></article>
+      <article><title>relational data</title>
+        <author>edgar codd</author></article>
+    </bib>)");
+  QueryResultCache cache(8);
+  GksSearcher searcher(&index);
+  searcher.set_cache(&cache);
+
+  SearchOptions options;
+  Result<SearchResponse> cold = searcher.Search("xml data", options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  Result<SearchResponse> warm = searcher.Search("xml  DATA", options);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // The normalized-query key makes the respelled query a hit, and the hit
+  // is the full cold response — nodes, diagnostics, DI, refinements.
+  EXPECT_EQ(gks::testing::NodeIds(*warm), gks::testing::NodeIds(*cold));
+  EXPECT_EQ(warm->merged_list_size, cold->merged_list_size);
+  EXPECT_EQ(warm->candidate_count, cold->candidate_count);
+  EXPECT_EQ(warm->lce_count, cold->lce_count);
+  EXPECT_EQ(warm->insights.size(), cold->insights.size());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gks

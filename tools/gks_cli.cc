@@ -1,10 +1,13 @@
 // The `gks` command-line tool: build, inspect and query GKS indexes.
 //
-//   gks index  <out.gksidx> <file.xml...>          build an index
+//   gks index  <out.gksidx> <file.xml...> [--threads=N]   build an index
 //   gks search <index.gksidx> "<query>" [--s=N] [--top=N] [--di=M]
 //                                        [--refine] [--schema-reconcile]
 //                                        [--explain] [--explain-json]
 //                                        [--metrics]
+//   gks batch  <index.gksidx> <queries.txt> [--threads=N] [--cache=CAP]
+//                                        [--repeat=R] [--s=N] [--top=N]
+//                                        [--print] [--metrics]
 //   gks analyze <index.gksidx> "<query>" [--s=N] [--facets]
 //                                        [--agg=TAG] [--hist=TAG:BUCKETS]
 //   gks schema <index.gksidx>                      DataGuide-style dump
@@ -18,15 +21,18 @@
 //   gks search dblp.gksidx '"Peter Buneman" "Wenfei Fan"' --s=1
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/analytics.h"
 #include "core/chunk.h"
+#include "core/result_cache.h"
 #include "core/searcher.h"
 #include "data/dblp_gen.h"
 #include "data/mondial_gen.h"
@@ -35,6 +41,7 @@
 #include "data/sigmod_gen.h"
 #include "data/treebank_gen.h"
 #include "index/index_builder.h"
+#include "index/parallel_build.h"
 #include "index/serialization.h"
 #include "schema/schema_summary.h"
 #include "xml/sax_parser.h"
@@ -47,12 +54,15 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  gks index  <out.gksidx> <file.xml...>\n"
+      "  gks index  <out.gksidx> <file.xml...> [--threads=N]\n"
       "  gks search <index.gksidx> \"<query>\" [--s=N] [--top=N] [--di=M]\n"
       "             [--refine] [--schema-reconcile] [--explain] [--chunks=N]\n"
       "             [--explain-json] [--metrics]\n"
       "             (keywords may be tag-constrained: year:2001,\n"
       "              author:\"peter buneman\")\n"
+      "  gks batch  <index.gksidx> <queries.txt> [--threads=N] [--cache=CAP]\n"
+      "             [--repeat=R] [--s=N] [--top=N] [--print] [--metrics]\n"
+      "             (one query per line; '#' starts a comment)\n"
       "  gks analyze <index.gksidx> \"<query>\" [--s=N] [--facets]\n"
       "             [--agg=TAG] [--hist=TAG:BUCKETS]\n"
       "  gks schema <index.gksidx>\n"
@@ -69,18 +79,43 @@ int Fail(const Status& status) {
 
 Result<XmlIndex> LoadOrFail(const std::string& path) { return LoadIndex(path); }
 
+// Builds with --threads=N workers: documents are parsed into per-file
+// partial indexes on the pool and merged deterministically, so the output
+// is byte-identical to a sequential build (src/index/parallel_build.h).
+Result<XmlIndex> BuildIndexFromArgs(const FlagParser& flags,
+                                    const std::vector<std::string>& args) {
+  int threads = static_cast<int>(flags.GetInt("threads", 1));
+  if (threads <= 1) {
+    IndexBuilder builder;
+    for (size_t i = 2; i < args.size(); ++i) {
+      std::printf("indexing %s...\n", args[i].c_str());
+      if (Status status = builder.AddFile(args[i]); !status.ok()) {
+        return status;
+      }
+    }
+    return std::move(builder).Finalize();
+  }
+  ThreadPool pool(static_cast<size_t>(threads));
+  std::vector<NamedDocument> documents;
+  documents.reserve(args.size() - 2);
+  for (size_t i = 2; i < args.size(); ++i) {
+    std::string contents;
+    if (Status status = xml::ReadFileToString(args[i], &contents);
+        !status.ok()) {
+      return status;
+    }
+    documents.emplace_back(args[i], std::move(contents));
+  }
+  std::printf("indexing %zu files on %zu threads...\n", documents.size(),
+              pool.size());
+  return BuildIndexParallel(documents, {}, &pool);
+}
+
 int CmdIndex(const FlagParser& flags) {
   const auto& args = flags.positional();
   if (args.size() < 3) return Usage();
   WallTimer timer;
-  IndexBuilder builder;
-  for (size_t i = 2; i < args.size(); ++i) {
-    std::printf("indexing %s...\n", args[i].c_str());
-    if (Status status = builder.AddFile(args[i]); !status.ok()) {
-      return Fail(status);
-    }
-  }
-  Result<XmlIndex> index = std::move(builder).Finalize();
+  Result<XmlIndex> index = BuildIndexFromArgs(flags, args);
   if (!index.ok()) return Fail(index.status());
   if (Status status = SaveIndex(*index, args[1]); !status.ok()) {
     return Fail(status);
@@ -175,6 +210,98 @@ int CmdSearch(const FlagParser& flags) {
                 MetricsRegistry::Global().Snapshot().ToText().c_str());
   }
   return 0;
+}
+
+// Runs every query in <queries.txt> through GksSearcher::SearchBatch,
+// optionally on a thread pool (--threads=N) and through a shared result
+// cache (--cache=CAP entries). --repeat=R replays the whole list R times —
+// with a cache attached, rounds after the first are served from it.
+int CmdBatch(const FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 3) return Usage();
+  Result<XmlIndex> index = LoadOrFail(args[1]);
+  if (!index.ok()) return Fail(index.status());
+
+  std::string text;
+  if (Status status = xml::ReadFileToString(args[2], &text); !status.ok()) {
+    return Fail(status);
+  }
+  std::vector<std::string> queries;
+  for (std::string& line : SplitString(text, '\n')) {
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    queries.push_back(line.substr(begin, end - begin + 1));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "error: no queries in %s\n", args[2].c_str());
+    return 1;
+  }
+  size_t repeat = static_cast<size_t>(flags.GetInt("repeat", 1));
+  if (repeat < 1) repeat = 1;
+  std::vector<std::string> batch;
+  batch.reserve(queries.size() * repeat);
+  for (size_t r = 0; r < repeat; ++r) {
+    batch.insert(batch.end(), queries.begin(), queries.end());
+  }
+
+  SearchOptions options;
+  options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
+  options.max_results = static_cast<size_t>(flags.GetInt("top", 20));
+  options.di_top_m = static_cast<size_t>(flags.GetInt("di", 5));
+
+  size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  GksSearcher searcher(&*index);
+  std::unique_ptr<QueryResultCache> cache;
+  size_t cache_capacity = static_cast<size_t>(flags.GetInt("cache", 0));
+  if (cache_capacity > 0) {
+    cache = std::make_unique<QueryResultCache>(cache_capacity);
+    searcher.set_cache(cache.get());
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  uint64_t hits_before =
+      registry.GetCounter("gks.search.cache.hits_total")->value();
+  WallTimer timer;
+  std::vector<Result<SearchResponse>> responses =
+      searcher.SearchBatch(batch, options, pool.get());
+  double elapsed_ms = timer.ElapsedMillis();
+
+  size_t failures = 0;
+  size_t total_nodes = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].ok()) {
+      ++failures;
+      std::fprintf(stderr, "query '%s': %s\n", batch[i].c_str(),
+                   responses[i].status().ToString().c_str());
+      continue;
+    }
+    total_nodes += responses[i]->nodes.size();
+    if (flags.GetBool("print")) {
+      std::printf("## %s -> %zu nodes\n", batch[i].c_str(),
+                  responses[i]->nodes.size());
+      for (const GksNode& node : responses[i]->nodes) {
+        std::printf("  %s\n", DescribeNode(*index, node).c_str());
+      }
+    }
+  }
+  uint64_t hits =
+      registry.GetCounter("gks.search.cache.hits_total")->value() -
+      hits_before;
+  std::printf(
+      "%zu queries (%zu unique x%zu) on %zu thread(s): %zu nodes, "
+      "%zu failed, %llu cache hits in %.2fms (%.1f q/s)\n",
+      batch.size(), queries.size(), repeat, threads == 0 ? 1 : threads,
+      total_nodes, failures, (unsigned long long)hits, elapsed_ms,
+      elapsed_ms > 0.0 ? 1000.0 * (double)batch.size() / elapsed_ms : 0.0);
+  if (flags.GetBool("metrics")) {
+    std::printf("-- metrics --\n%s",
+                MetricsRegistry::Global().Snapshot().ToText().c_str());
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int CmdAnalyze(const FlagParser& flags) {
@@ -331,6 +458,7 @@ int Run(int argc, char** argv) {
   const std::string& command = flags.positional()[0];
   if (command == "index") return CmdIndex(flags);
   if (command == "search") return CmdSearch(flags);
+  if (command == "batch") return CmdBatch(flags);
   if (command == "analyze") return CmdAnalyze(flags);
   if (command == "schema") return CmdSchema(flags);
   if (command == "stats") return CmdStats(flags);
