@@ -1,0 +1,203 @@
+// On-disk format comparison (v1 vs v2) on a DBLP-style corpus:
+//
+//   1. index size — total file bytes and bytes/posting for both formats
+//      (v2 = LZ-wrapped node/attr sections + delta-compressed posting
+//      blocks; acceptance: >= 2x smaller);
+//   2. cold-start latency — eager LoadIndex vs zero-copy LoadIndexMapped
+//      on the same v2 file (acceptance: mmap >= 10x faster, since it only
+//      parses the section table and catalog);
+//   3. fig8-style query latency — n=8 keyword queries of varying
+//      selectivity against a v1-loaded, v2-loaded and v2-mapped index
+//      (acceptance: v2 within 10% of v1).
+//
+// Prints a JSON document on stdout (shape mirrors BENCH_pr3.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json_writer.h"
+#include "data/names.h"
+#include "index/serialization.h"
+
+namespace {
+
+using gks::IndexFormat;
+using gks::JsonWriter;
+using gks::LoadIndex;
+using gks::LoadIndexMapped;
+using gks::Result;
+using gks::SaveIndex;
+using gks::WallTimer;
+using gks::XmlIndex;
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+// Best-of-N wall time for `fn` in milliseconds.
+template <typename Fn>
+double BestOfMs(int reps, Fn fn) {
+  double best = 1e99;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+struct QueryPoint {
+  std::string query;
+  size_t sl = 0;
+  double v1_ms = 0;
+  double v2_ms = 0;
+  double v2_mmap_ms = 0;
+};
+
+int Run() {
+  std::fprintf(stderr, "building DBLP-style corpus (scale=%.2f)...\n",
+               gks::bench::Scale());
+  gks::bench::Corpus corpus = gks::bench::MakeDblp();
+  XmlIndex built = gks::bench::BuildIndex(corpus);
+
+  const std::string v1_path = TempPath("gks_size_bench_v1.gksidx");
+  const std::string v2_path = TempPath("gks_size_bench_v2.gksidx");
+  if (!SaveIndex(built, v1_path, IndexFormat::kV1).ok() ||
+      !SaveIndex(built, v2_path, IndexFormat::kV2).ok()) {
+    std::fprintf(stderr, "FATAL: save failed\n");
+    return 1;
+  }
+  Result<gks::IndexFileInfo> v1_info = gks::InspectIndexFile(v1_path);
+  Result<gks::IndexFileInfo> v2_info = gks::InspectIndexFile(v2_path);
+  if (!v1_info.ok() || !v2_info.ok()) {
+    std::fprintf(stderr, "FATAL: inspect failed\n");
+    return 1;
+  }
+  const double postings = static_cast<double>(built.inverted.posting_count());
+
+  // --- cold start: eager decode-everything vs section-table-only. ---
+  std::fprintf(stderr, "timing cold loads...\n");
+  const double v1_eager_ms = BestOfMs(5, [&] {
+    if (!LoadIndex(v1_path).ok()) std::exit(1);
+  });
+  const double v2_eager_ms = BestOfMs(5, [&] {
+    if (!LoadIndex(v2_path).ok()) std::exit(1);
+  });
+  const double v2_mmap_ms = BestOfMs(5, [&] {
+    if (!LoadIndexMapped(v2_path).ok()) std::exit(1);
+  });
+
+  // --- fig8-style query latency (n=8, varying selectivity). ---
+  std::fprintf(stderr, "timing queries...\n");
+  Result<XmlIndex> v1 = LoadIndex(v1_path);
+  Result<XmlIndex> v2 = LoadIndex(v2_path);
+  Result<XmlIndex> v2_mapped = LoadIndexMapped(v2_path);
+  if (!v1.ok() || !v2.ok() || !v2_mapped.ok()) {
+    std::fprintf(stderr, "FATAL: reload failed\n");
+    return 1;
+  }
+  const std::vector<std::string>& vocabulary = gks::data::TitleWords();
+  std::vector<QueryPoint> points;
+  for (size_t start = 0; start + 8 <= vocabulary.size(); start += 4) {
+    QueryPoint point;
+    for (size_t i = 0; i < 8; ++i) {
+      if (!point.query.empty()) point.query += " ";
+      point.query += vocabulary[start + i];
+    }
+    point.v1_ms = BestOfMs(5, [&] {
+      point.sl =
+          gks::bench::RunQuery(*v1, point.query, 2).merged_list_size;
+    });
+    point.v2_ms = BestOfMs(5, [&] {
+      (void)gks::bench::RunQuery(*v2, point.query, 2);
+    });
+    point.v2_mmap_ms = BestOfMs(5, [&] {
+      (void)gks::bench::RunQuery(*v2_mapped, point.query, 2);
+    });
+    points.push_back(point);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const QueryPoint& a, const QueryPoint& b) { return a.sl < b.sl; });
+  double v1_total = 0, v2_total = 0, v2_mmap_total = 0;
+  for (const QueryPoint& point : points) {
+    v1_total += point.v1_ms;
+    v2_total += point.v2_ms;
+    v2_mmap_total += point.v2_mmap_ms;
+  }
+
+  // --- emit JSON. ---
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("corpus");
+  json.BeginObject();
+  json.Key("kind").String("dblp");
+  json.Key("scale").Double(gks::bench::Scale());
+  json.Key("xml_bytes").UInt(corpus.TotalBytes());
+  json.Key("terms").UInt(built.inverted.term_count());
+  json.Key("postings").UInt(built.inverted.posting_count());
+  json.EndObject();
+
+  json.Key("size");
+  json.BeginObject();
+  json.Key("v1_bytes").UInt(v1_info->file_bytes);
+  json.Key("v2_bytes").UInt(v2_info->file_bytes);
+  json.Key("v1_bytes_per_posting")
+      .Double(static_cast<double>(v1_info->file_bytes) / postings);
+  json.Key("v2_bytes_per_posting")
+      .Double(static_cast<double>(v2_info->file_bytes) / postings);
+  json.Key("v1_over_v2")
+      .Double(static_cast<double>(v1_info->file_bytes) /
+              static_cast<double>(v2_info->file_bytes));
+  for (const auto& [info, prefix] :
+       {std::pair{&*v1_info, "v1"}, std::pair{&*v2_info, "v2"}}) {
+    json.Key(std::string(prefix) + "_sections");
+    json.BeginObject();
+    for (const gks::IndexSectionInfo& section : info->sections) {
+      json.Key(section.name).UInt(section.bytes);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+
+  json.Key("cold_load_ms");
+  json.BeginObject();
+  json.Key("v1_eager").Double(v1_eager_ms);
+  json.Key("v2_eager").Double(v2_eager_ms);
+  json.Key("v2_mmap").Double(v2_mmap_ms);
+  json.Key("eager_over_mmap").Double(v2_eager_ms / v2_mmap_ms);
+  json.EndObject();
+
+  json.Key("fig8_query_ms");
+  json.BeginObject();
+  json.Key("points");
+  json.BeginArray();
+  for (const QueryPoint& point : points) {
+    json.BeginObject();
+    json.Key("sl").UInt(point.sl);
+    json.Key("v1").Double(point.v1_ms);
+    json.Key("v2").Double(point.v2_ms);
+    json.Key("v2_mmap").Double(point.v2_mmap_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("v1_total").Double(v1_total);
+  json.Key("v2_total").Double(v2_total);
+  json.Key("v2_mmap_total").Double(v2_mmap_total);
+  json.Key("v2_over_v1").Double(v2_total / v1_total);
+  json.Key("v2_mmap_over_v1").Double(v2_mmap_total / v1_total);
+  json.EndObject();
+
+  json.EndObject();
+  std::printf("%s\n", json.str().c_str());
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Address/UB sanitizer sweep (registered with ctest as `check_asan`):
+# builds the (de)serialization-heavy test binaries in a dedicated build
+# tree configured with -DGKS_SANITIZE=address,undefined and runs the
+# suites that parse attacker-shaped bytes — varint and LZ decoding, the
+# block-postings codec, and the on-disk index readers (v1, v2 eager, v2
+# mmap). Any ASan/UBSan report fails the run.
+#
+# The build tree (<repo>/build-asan) is incremental: the first run pays a
+# full compile, later runs only relink what changed.
+#
+# Usage: check_asan.sh [repo-root]   (defaults to the script's parent)
+
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+build="$root/build-asan"
+
+# Probe: some toolchains ship the compiler flag but not the runtime.
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cc" <<'EOF'
+#include <cstdlib>
+int main() { return EXIT_SUCCESS; }
+EOF
+if ! c++ -fsanitize=address,undefined -o "$probe_dir/probe" \
+    "$probe_dir/probe.cc" 2>/dev/null || ! "$probe_dir/probe" 2>/dev/null; then
+  echo "check_asan: SKIPPED — toolchain cannot build/run -fsanitize=address"
+  exit 0
+fi
+
+cmake -S "$root" -B "$build" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGKS_SANITIZE=address,undefined >/dev/null
+cmake --build "$build" -j \
+  --target common_test index_test >/dev/null
+
+# A sanitizer report aborts with a non-zero exit.
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+
+"$build/tests/common_test" \
+  --gtest_filter='Varint*:Lz*' --gtest_brief=1
+"$build/tests/index_test" \
+  --gtest_filter='PostingBlocks*:Serialization*:GoldenIndex*:PostingList*' \
+  --gtest_brief=1
+
+echo "check_asan: OK"

@@ -1,0 +1,48 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gks {
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IOError("fstat " + path + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* data = nullptr;
+  if (size > 0) {
+    data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      Status status = Status::IOError("mmap " + path + ": " +
+                                       std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+  }
+  // The mapping survives the descriptor; close it now so mapped indexes
+  // don't pin fds.
+  ::close(fd);
+  return std::shared_ptr<const MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ > 0) ::munmap(data_, size_);
+}
+
+}  // namespace gks

@@ -1,0 +1,46 @@
+#ifndef GKS_COMMON_MMAP_FILE_H_
+#define GKS_COMMON_MMAP_FILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace gks {
+
+/// A read-only memory-mapped file. The mapping lives exactly as long as
+/// the object; consumers that hand out views into it (lazy index sections,
+/// block-backed posting lists) keep a shared_ptr to the MappedFile as
+/// their lifetime anchor, so the mapping is torn down only after the last
+/// view owner is gone.
+///
+/// Pages fault in on first touch — opening a mapped file is O(metadata),
+/// not O(bytes) — which is what makes the v2 index's lazy cold start work.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with NotFound/IOError-style statuses on
+  /// open/map problems. An empty file maps to an empty view.
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view bytes() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_MMAP_FILE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "index/posting_cursor.h"
 #include "text/analyzer.h"
 
 namespace gks {
@@ -69,27 +70,41 @@ PackedIds AtomOccurrences(const XmlIndex& index, const QueryAtom& atom) {
     if (list == nullptr) return out;  // some token never occurs
     lists.push_back(list);
   }
-  const PostingList* smallest = *std::min_element(
-      lists.begin(), lists.end(),
-      [](const PostingList* a, const PostingList* b) {
-        return a->size() < b->size();
-      });
+
+  // All list access goes through PostingCursor: on block-backed (format
+  // v2, mmap) lists it decodes block-at-a-time and answers seeks from the
+  // skip table, so only the blocks a query actually touches ever leave
+  // their compressed form.
+  if (lists.size() == 1 && atom.tag_constraint.empty()) {
+    // Single keyword, no constraint: the result IS the list; emit it in
+    // block-granular copies.
+    PostingCursor cursor(*lists[0]);
+    cursor.EmitAll(&out);
+    return out;
+  }
+
+  size_t smallest = 0;
+  for (size_t l = 1; l < lists.size(); ++l) {
+    if (lists[l]->size() < lists[smallest]->size()) smallest = l;
+  }
 
   // Phrase intersection drives a cursor per token list: the candidate ids
   // come off the smallest list in document order, so each other list only
   // ever gallops forward from its previous position — O(log gap) per
-  // candidate instead of a full O(log n) binary search per candidate.
-  std::vector<size_t> cursors(lists.size(), 0);
+  // candidate instead of a full O(log n) binary search per candidate, and
+  // block-backed lists skip whole undecoded blocks between candidates.
+  std::vector<PostingCursor> cursors;
+  cursors.reserve(lists.size());
+  for (const PostingList* list : lists) cursors.emplace_back(*list);
   TagConstraintMatcher matcher(index, atom.tag_constraint);
-  for (size_t i = 0; i < smallest->size(); ++i) {
-    DeweySpan id = smallest->At(i);
+  PostingCursor& driver = cursors[smallest];
+  for (; !driver.AtEnd(); driver.Next()) {
+    DeweySpan id = driver.Head();
     bool in_all = true;
-    for (size_t l = 0; l < lists.size(); ++l) {
-      const PostingList* list = lists[l];
-      if (list == smallest) continue;
-      size_t pos = list->LowerBoundFrom(id, cursors[l]);
-      cursors[l] = pos;
-      if (pos >= list->size() || list->At(pos).Compare(id) != 0) {
+    for (size_t l = 0; l < cursors.size(); ++l) {
+      if (l == smallest) continue;
+      cursors[l].SeekLowerBound(id);
+      if (cursors[l].AtEnd() || cursors[l].Head().Compare(id) != 0) {
         in_all = false;
         break;
       }

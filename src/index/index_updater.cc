@@ -72,7 +72,9 @@ Status AppendDocument(XmlIndex* index, std::string_view xml,
 
   GKS_RETURN_IF_ERROR(MergeDeltaIndex(index, std::move(*delta_result)));
   // The index changed: cached responses keyed to the old epoch are stale.
-  ++index->epoch;
+  // Draw from the global sequence (not ++) so an epoch can never collide
+  // with one handed out to a reloaded index in the same process.
+  index->epoch = NextIndexEpoch();
   return Status::OK();
 }
 

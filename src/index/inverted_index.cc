@@ -3,10 +3,45 @@
 #include <algorithm>
 
 #include "common/varint.h"
+#include "index/lazy_section.h"
 
 namespace gks {
 
+InvertedIndex::InvertedIndex() = default;
+InvertedIndex::~InvertedIndex() = default;
+InvertedIndex::InvertedIndex(InvertedIndex&&) noexcept = default;
+InvertedIndex& InvertedIndex::operator=(InvertedIndex&&) noexcept = default;
+
+void InvertedIndex::AttachEncoded(std::string_view bytes, bool lz,
+                                  std::shared_ptr<const void> owner) {
+  pending_ = std::make_unique<EncodedSection>();
+  pending_->bytes = bytes;
+  pending_->lz = lz;
+  pending_->owner = std::move(owner);
+}
+
+Status InvertedIndex::EnsureDecoded() const {
+  EncodedSection* cell = pending_.get();
+  if (cell == nullptr) return Status::OK();
+  return EnsureSectionDecoded(cell, [this, cell](std::string_view in) {
+    InvertedIndex decoded;
+    GKS_RETURN_IF_ERROR(DecodeFromBlocks(&in, cell->owner, &decoded));
+    if (!in.empty()) {
+      return Status::Corruption("trailing bytes after inverted index section");
+    }
+    // An LZ-wrapped section decodes into a temporary buffer that dies with
+    // this lambda, so the lists cannot keep block views into it. (The
+    // writer never LZ-wraps this section, precisely so blocks can decode
+    // straight from the mapped file.)
+    if (cell->lz) decoded.MaterializeAll();
+    // Single-writer under call_once; readers are gated on the ready flag.
+    const_cast<InvertedIndex*>(this)->lists_ = std::move(decoded.lists_);
+    return Status::OK();
+  });
+}
+
 void InvertedIndex::Add(std::string_view term, const DeweyId& id) {
+  RequireDecoded();
   auto it = lists_.find(term);
   if (it == lists_.end()) {
     it = lists_.emplace(std::string(term), PostingList()).first;
@@ -15,6 +50,7 @@ void InvertedIndex::Add(std::string_view term, const DeweyId& id) {
 }
 
 void InvertedIndex::Finalize(ThreadPool* pool) {
+  RequireDecoded();
   if (pool == nullptr || pool->size() <= 1 || lists_.size() < 2) {
     for (auto& [term, list] : lists_) {
       (void)term;
@@ -37,11 +73,13 @@ void InvertedIndex::Finalize(ThreadPool* pool) {
 }
 
 const PostingList* InvertedIndex::Find(std::string_view term) const {
+  RequireDecoded();
   auto it = lists_.find(term);
   return it == lists_.end() ? nullptr : &it->second;
 }
 
 PostingList* InvertedIndex::MutableList(std::string_view term) {
+  RequireDecoded();
   auto it = lists_.find(term);
   if (it == lists_.end()) {
     it = lists_.emplace(std::string(term), PostingList()).first;
@@ -50,6 +88,7 @@ PostingList* InvertedIndex::MutableList(std::string_view term) {
 }
 
 uint64_t InvertedIndex::posting_count() const {
+  RequireDecoded();
   uint64_t total = 0;
   for (const auto& [term, list] : lists_) {
     (void)term;
@@ -59,6 +98,7 @@ uint64_t InvertedIndex::posting_count() const {
 }
 
 size_t InvertedIndex::MemoryUsage() const {
+  RequireDecoded();
   size_t bytes = 0;
   for (const auto& [term, list] : lists_) {
     bytes += term.capacity() + list.MemoryUsage() + sizeof(list) +
@@ -68,6 +108,7 @@ size_t InvertedIndex::MemoryUsage() const {
 }
 
 void InvertedIndex::EncodeTo(std::string* dst) const {
+  RequireDecoded();
   // Emit terms in lexicographic order: the serialized index is then a
   // deterministic function of the logical contents, independent of hash-map
   // iteration or build schedule — what lets the parallel build be verified
@@ -102,14 +143,86 @@ Status InvertedIndex::DecodeFrom(std::string_view* input, InvertedIndex* out) {
   return Status::OK();
 }
 
+void InvertedIndex::EncodeToBlocks(std::string* dst) const {
+  RequireDecoded();
+  std::vector<const std::string*> terms;
+  terms.reserve(lists_.size());
+  for (const auto& [term, list] : lists_) {
+    (void)list;
+    terms.push_back(&term);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  PutVarint64(dst, lists_.size());
+  for (const std::string* term : terms) {
+    PutLengthPrefixed(dst, *term);
+    lists_.find(*term)->second.EncodeBlocksTo(dst);
+  }
+}
+
+Status InvertedIndex::DecodeFromBlocks(std::string_view* input,
+                                       std::shared_ptr<const void> owner,
+                                       InvertedIndex* out) {
+  *out = InvertedIndex();
+  uint64_t count = 0;
+  GKS_RETURN_IF_ERROR(GetVarint64(input, &count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string term;
+    GKS_RETURN_IF_ERROR(GetLengthPrefixed(input, &term));
+    PostingList list;
+    GKS_RETURN_IF_ERROR(
+        PostingList::FromEncodedBlocks(input, owner, &list));
+    out->lists_.emplace(std::move(term), std::move(list));
+  }
+  return Status::OK();
+}
+
+void InvertedIndex::MaterializeAll() {
+  RequireDecoded();
+  for (auto& [term, list] : lists_) {
+    (void)term;
+    list.Materialize();
+  }
+}
+
+AttrDirectory::AttrDirectory() = default;
+AttrDirectory::~AttrDirectory() = default;
+AttrDirectory::AttrDirectory(AttrDirectory&&) noexcept = default;
+AttrDirectory& AttrDirectory::operator=(AttrDirectory&&) noexcept = default;
+
+void AttrDirectory::AttachEncoded(std::string_view bytes, bool lz,
+                                  std::shared_ptr<const void> owner) {
+  pending_ = std::make_unique<EncodedSection>();
+  pending_->bytes = bytes;
+  pending_->lz = lz;
+  pending_->owner = std::move(owner);
+}
+
+Status AttrDirectory::EnsureDecoded() const {
+  return EnsureSectionDecoded(pending_.get(), [this](std::string_view in) {
+    AttrDirectory decoded;
+    GKS_RETURN_IF_ERROR(DecodeFrom(&in, &decoded));
+    if (!in.empty()) {
+      return Status::Corruption("trailing bytes after attr directory section");
+    }
+    AttrDirectory* self = const_cast<AttrDirectory*>(this);
+    self->ids_ = std::move(decoded.ids_);
+    self->tag_ids_ = std::move(decoded.tag_ids_);
+    self->value_ids_ = std::move(decoded.value_ids_);
+    return Status::OK();
+  });
+}
+
 void AttrDirectory::Add(const DeweyId& id, uint32_t tag_id,
                         uint32_t value_id) {
+  RequireDecoded();
   ids_.Add(id);
   tag_ids_.push_back(tag_id);
   value_ids_.push_back(value_id);
 }
 
 void AttrDirectory::Finalize() {
+  RequireDecoded();
   std::vector<uint32_t> perm = ids_.SortPermutation();
   std::vector<uint32_t> tags(perm.size());
   std::vector<uint32_t> values(perm.size());
@@ -123,6 +236,7 @@ void AttrDirectory::Finalize() {
 }
 
 void AttrDirectory::EncodeTo(std::string* dst) const {
+  RequireDecoded();
   ids_.EncodeTo(dst);
   PutVarint64(dst, tag_ids_.size());
   for (uint32_t tag : tag_ids_) PutVarint32(dst, tag);

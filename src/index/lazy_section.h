@@ -1,0 +1,58 @@
+#ifndef GKS_INDEX_LAZY_SECTION_H_
+#define GKS_INDEX_LAZY_SECTION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/lz.h"
+#include "common/status.h"
+
+namespace gks {
+
+/// The deferred-decode cell behind a lazily loaded index section (format
+/// v2 mmap path). Holds a view of the still-encoded section bytes plus the
+/// owner that keeps them mapped; the section's accessors trigger the
+/// decode on first touch through EnsureSectionDecoded below.
+///
+/// Not movable (once_flag), so owning classes hold it behind a unique_ptr
+/// and become move-only themselves.
+struct EncodedSection {
+  std::string_view bytes;            // encoded payload (maybe LZ-wrapped)
+  bool lz = false;
+  std::shared_ptr<const void> owner;  // keeps `bytes` alive (mmap anchor)
+  std::once_flag once;
+  std::atomic<bool> ready{false};
+  Status status = Status::OK();  // written once, before `ready` flips
+};
+
+/// Runs `decode(payload)` exactly once per cell — LZ-unwrapping first when
+/// the section is flagged — and records its Status; concurrent callers
+/// block until the first finishes, later ones return the recorded Status
+/// after one relaxed pointer test and one acquire load. Null cell = eager
+/// object = OK.
+template <typename DecodeFn>
+Status EnsureSectionDecoded(EncodedSection* cell, DecodeFn decode) {
+  if (cell == nullptr) return Status::OK();
+  if (!cell->ready.load(std::memory_order_acquire)) {
+    std::call_once(cell->once, [&] {
+      std::string raw;
+      std::string_view payload = cell->bytes;
+      Status st = Status::OK();
+      if (cell->lz) {
+        st = LzDecompress(cell->bytes, &raw);
+        payload = raw;
+      }
+      if (st.ok()) st = decode(payload);
+      cell->status = st;
+      cell->ready.store(true, std::memory_order_release);
+    });
+  }
+  return cell->status;
+}
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_LAZY_SECTION_H_

@@ -1,0 +1,81 @@
+#ifndef GKS_INDEX_POSTING_CURSOR_H_
+#define GKS_INDEX_POSTING_CURSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "index/posting_blocks.h"
+#include "index/posting_list.h"
+
+namespace gks {
+
+/// Forward-only reader over one posting list that works identically on
+/// both backends:
+///   - eager PackedIds: positions map 1:1 onto the array, seeks reuse the
+///     galloping searches;
+///   - block-backed (format v2): at most one block is decoded at a time
+///     into a scratch buffer, and seeks first walk the *skip table* —
+///     blocks whose last id sorts before the target are jumped without
+///     decoding (counted in gks.index.v2.skip_hits_total).
+///
+/// This is the intended access path for query evaluation: it keeps the
+/// lazy-load promise (touched blocks only) that PostingList's
+/// materializing accessors would break. The underlying list must outlive
+/// the cursor and stay unmodified.
+class PostingCursor {
+ public:
+  explicit PostingCursor(const PostingList& list);
+
+  size_t size() const { return size_; }
+  bool AtEnd() const { return pos_ >= size_; }
+  /// Global document-order index of the current id.
+  size_t position() const { return pos_; }
+
+  /// Current id. Valid until the cursor advances (block-backed spans point
+  /// into the scratch buffer of the currently decoded block). Must not be
+  /// called when AtEnd(); returns an empty span if the block failed to
+  /// decode (status() then carries the error and the cursor reads AtEnd).
+  DeweySpan Head() const;
+
+  void Next() {
+    ++pos_;
+    ++offset_;
+  }
+
+  /// Advances to the first id >= `target` in document order (no-op when
+  /// already there). Never moves backwards; callers feed ascending targets.
+  void SeekLowerBound(DeweySpan target);
+
+  /// Advances to the first id not strictly before the subtree of `prefix`;
+  /// returns true iff the new head exists and lies inside that subtree.
+  bool SeekToSubtree(DeweySpan prefix);
+
+  /// Appends every remaining id to `out` (block-granular copies) and
+  /// leaves the cursor at the end.
+  void EmitAll(PackedIds* out);
+
+  /// OK unless a lazily decoded block turned out corrupt — the cursor then
+  /// reports end-of-list and this carries the decode error.
+  Status status() const { return status_; }
+
+ private:
+  /// Ensures the block holding global index `pos_` is decoded and
+  /// `offset_` points at pos_ within it. Block-backed only. Decode
+  /// failure sets status_ and clamps size_ so the cursor reads AtEnd.
+  /// (Mutable/const because Head() triggers it lazily.)
+  void LoadBlockForPosition() const;
+
+  const PackedIds* eager_ = nullptr;  // exactly one backend is set
+  const BlockPostingsView* view_ = nullptr;
+  mutable size_t size_ = 0;
+  size_t pos_ = 0;                   // global id index
+  mutable size_t block_ = SIZE_MAX;  // decoded block (SIZE_MAX: none yet)
+  mutable size_t offset_ = 0;        // pos_ - begin of decoded block
+  mutable PackedIds scratch_;        // decoded ids of block_
+  mutable Status status_ = Status::OK();
+};
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_POSTING_CURSOR_H_

@@ -2,6 +2,7 @@
 #define GKS_INDEX_POSTING_LIST_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -105,6 +106,13 @@ class PackedIds {
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(std::string_view* input, PackedIds* out);
 
+  /// Drops all ids but keeps the backing capacity — scratch-buffer reuse
+  /// for block-at-a-time decoding.
+  void Clear() {
+    components_.clear();
+    offsets_.assign(1, 0);
+  }
+
   /// Heap bytes used (for index-size reporting).
   size_t MemoryUsage() const {
     return components_.capacity() * sizeof(uint32_t) +
@@ -116,32 +124,80 @@ class PackedIds {
   std::vector<uint32_t> offsets_;  // size()+1 entries; [i, i+1) delimits id i
 };
 
+class BlockPostingsView;  // posting_blocks.h
+
 /// One keyword's inverted list: document-ordered, duplicate-free Dewey ids
 /// of the nodes whose directly-contained text (or tag name) matches the
 /// keyword. Built in arbitrary order, then finalized once.
+///
+/// Two storage backends:
+///   - eager: ids live in a PackedIds (built lists, v1 loads);
+///   - block-backed (format v2): ids stay in an encoded block blob (see
+///     posting_blocks.h), only the skip table is parsed up front. The full
+///     PackedIds materializes lazily on the first random-access call;
+///     sequential consumers should use PostingCursor instead, which decodes
+///     block-at-a-time and never materializes the whole list.
+///
+/// Move-only: the lazy backend owns a once_flag cell.
 class PostingList {
  public:
-  void Add(const DeweyId& id) { ids_.Add(id); }
+  PostingList();
+  ~PostingList();
+  PostingList(PostingList&&) noexcept;
+  PostingList& operator=(PostingList&&) noexcept;
+  PostingList(const PostingList&) = delete;
+  PostingList& operator=(const PostingList&) = delete;
+
+  /// Attaches an encoded block-postings blob from the front of `*input`
+  /// (format v2). Parses the skip table immediately — O(blocks), validates
+  /// structure — and defers payload decode. `owner` keeps the underlying
+  /// bytes (an mmap'd file or a pinned buffer) alive for the list's
+  /// lifetime; pass nullptr if the caller guarantees it independently.
+  static Status FromEncodedBlocks(std::string_view* input,
+                                  std::shared_ptr<const void> owner,
+                                  PostingList* out);
+
+  /// Non-null iff block-backed; skip-table reads and block decodes are
+  /// valid regardless of materialization state.
+  const BlockPostingsView* block_view() const;
+
+  /// The materialized id store. Block-backed lists decode all blocks on
+  /// first call (thread-safe; concurrent readers see the decode exactly
+  /// once). If the payload turns out corrupt the list reads as empty and
+  /// materialize_status() carries the error.
+  const PackedIds& materialized_ids() const;
+  Status materialize_status() const;
+
+  /// True when the ids already live in a PackedIds (eager lists, or
+  /// block-backed ones after their first materializing access) — readers
+  /// can then take the array path with no decode risk.
+  bool materialized() const;
+
+  void Add(const DeweyId& id) { MutableIds()->Add(id); }
 
   /// Sorts into document order and removes duplicate ids. Idempotent.
   void Finalize();
 
-  size_t size() const { return ids_.size(); }
-  bool empty() const { return ids_.empty(); }
-  DeweySpan At(size_t i) const { return ids_.At(i); }
-  DeweyId IdAt(size_t i) const { return ids_.IdAt(i); }
+  /// Id count. Block-backed lists answer from the blob header without
+  /// materializing (so e.g. smallest-list selection stays lazy).
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  DeweySpan At(size_t i) const { return materialized_ids().At(i); }
+  DeweyId IdAt(size_t i) const { return materialized_ids().IdAt(i); }
 
   size_t SubtreeBegin(DeweySpan prefix) const {
-    return ids_.SubtreeBegin(prefix);
+    return materialized_ids().SubtreeBegin(prefix);
   }
-  size_t SubtreeEnd(DeweySpan prefix) const { return ids_.SubtreeEnd(prefix); }
+  size_t SubtreeEnd(DeweySpan prefix) const {
+    return materialized_ids().SubtreeEnd(prefix);
+  }
 
   /// Galloping cursor-based variants (see PackedIds).
   size_t LowerBoundFrom(DeweySpan id, size_t from) const {
-    return ids_.LowerBoundFrom(id, from);
+    return materialized_ids().LowerBoundFrom(id, from);
   }
   size_t UpperBoundFrom(DeweySpan id, size_t from) const {
-    return ids_.UpperBoundFrom(id, from);
+    return materialized_ids().UpperBoundFrom(id, from);
   }
 
   /// True if any posting lies in the subtree of `prefix` (sorted lists only).
@@ -154,13 +210,28 @@ class PostingList {
   /// newer document). InvalidArgument if the order would break.
   Status ExtendWith(const PostingList& tail);
 
-  void EncodeTo(std::string* dst) const { ids_.EncodeTo(dst); }
+  void EncodeTo(std::string* dst) const { materialized_ids().EncodeTo(dst); }
   static Status DecodeFrom(std::string_view* input, PostingList* out);
 
-  size_t MemoryUsage() const { return ids_.MemoryUsage(); }
+  /// Encodes as a block-postings blob (format v2; see posting_blocks.h).
+  void EncodeBlocksTo(std::string* dst) const;
+
+  /// Forces a block-backed list into its eager form now and detaches the
+  /// encoded blob — the eager deserialization path calls this before the
+  /// backing buffer goes away.
+  void Materialize() { (void)MutableIds(); }
+
+  size_t MemoryUsage() const;
 
  private:
-  PackedIds ids_;
+  struct BlockBacking;
+
+  /// Materializes (if needed) and detaches the block backing — mutation
+  /// invalidates the encoded blob.
+  PackedIds* MutableIds();
+
+  mutable PackedIds ids_;
+  std::unique_ptr<BlockBacking> backing_;
   bool finalized_ = false;
 };
 

@@ -1,0 +1,12 @@
+#include "index/xml_index.h"
+
+#include <atomic>
+
+namespace gks {
+
+uint64_t NextIndexEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace gks

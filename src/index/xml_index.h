@@ -19,12 +19,15 @@ struct XmlIndex {
   AttrDirectory attributes;
   Catalog catalog;
 
-  /// Mutation epoch: bumped by every in-place mutation (IndexUpdater
-  /// appends, schema reconciliation) so epoch-keyed consumers — the
-  /// QueryResultCache above all — never serve results computed against an
-  /// older state. A runtime-only concept: not serialized, loads start at 0.
-  /// Mutators already require external exclusion against concurrent
-  /// readers, so a plain integer suffices.
+  /// Mutation epoch: stamped from NextIndexEpoch() by every load and every
+  /// in-place mutation (IndexUpdater appends, schema reconciliation) so
+  /// epoch-keyed consumers — the QueryResultCache above all — never serve
+  /// results computed against an older state. Process-globally unique:
+  /// reloading an index file (or mapping a file whose content changed)
+  /// yields a fresh epoch, so cache entries keyed to the previous
+  /// incarnation can never collide with the new one. A runtime-only
+  /// concept, never serialized. Mutators already require external
+  /// exclusion against concurrent readers, so a plain integer suffices.
   uint64_t epoch = 0;
 
   /// Approximate in-memory footprint — the paper's "Index Size" column.
@@ -33,6 +36,12 @@ struct XmlIndex {
            attributes.MemoryUsage();
   }
 };
+
+/// Process-global monotonically increasing epoch source (never returns 0).
+/// Every index load and every mutation draws from the same sequence, which
+/// is what makes epochs collision-free across index incarnations within a
+/// process.
+uint64_t NextIndexEpoch();
 
 }  // namespace gks
 

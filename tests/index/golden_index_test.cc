@@ -1,0 +1,78 @@
+// Backward compatibility against a checked-in v1 index file (see
+// golden/README.md): the legacy decode path must keep loading bytes
+// written by an older build, and must answer queries identically to a
+// freshly built format-v2 index of the same document.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "index/serialization.h"
+#include "tests/test_util.h"
+#include "xml/sax_parser.h"
+
+namespace gks {
+namespace {
+
+using gks::testing::BuildIndexFromXml;
+using gks::testing::SearchOrDie;
+
+const char kGoldenDir[] = GKS_TEST_SRCDIR "/index/golden";
+
+XmlIndex BuildFreshIndex() {
+  std::string xml;
+  Status status =
+      xml::ReadFileToString(std::string(kGoldenDir) + "/library.xml", &xml);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return BuildIndexFromXml(xml);
+}
+
+TEST(GoldenIndexTest, V1GoldenFileLoads) {
+  Result<XmlIndex> golden =
+      LoadIndex(std::string(kGoldenDir) + "/library_v1.gksidx");
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  XmlIndex fresh = BuildFreshIndex();
+  EXPECT_EQ(golden->nodes.size(), fresh.nodes.size());
+  EXPECT_EQ(golden->inverted.term_count(), fresh.inverted.term_count());
+  EXPECT_EQ(golden->inverted.posting_count(), fresh.inverted.posting_count());
+  EXPECT_EQ(golden->attributes.size(), fresh.attributes.size());
+  EXPECT_EQ(golden->nodes.counts().entity, fresh.nodes.counts().entity);
+}
+
+TEST(GoldenIndexTest, V1GoldenMatchesFreshV2Results) {
+  Result<XmlIndex> golden =
+      LoadIndex(std::string(kGoldenDir) + "/library_v1.gksidx");
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+
+  // Round-trip the fresh index through the current (v2) format so the
+  // comparison covers today's encoder and decoder, not just the builder.
+  XmlIndex fresh = BuildFreshIndex();
+  Result<XmlIndex> v2 = DeserializeIndex(SerializeIndex(fresh));
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+
+  SearchOptions options;
+  options.s = 2;
+  for (const char* query : {"peter buneman", "title:algorithms", "xml data",
+                            "author year", "database"}) {
+    SearchResponse want = SearchOrDie(*golden, query, options);
+    SearchResponse got = SearchOrDie(*v2, query, options);
+    ASSERT_EQ(want.nodes.size(), got.nodes.size()) << query;
+    for (size_t i = 0; i < want.nodes.size(); ++i) {
+      EXPECT_EQ(want.nodes[i].id, got.nodes[i].id) << query;
+      EXPECT_DOUBLE_EQ(want.nodes[i].rank, got.nodes[i].rank) << query;
+    }
+  }
+}
+
+TEST(GoldenIndexTest, GoldenFileIsUnchangedByteForByte) {
+  // The golden file's magic pins it to v1; if this fails the file was
+  // regenerated with a v2 writer by mistake.
+  std::string bytes;
+  Status status = xml::ReadFileToString(
+      std::string(kGoldenDir) + "/library_v1.gksidx", &bytes);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), "GKSIDX01");
+}
+
+}  // namespace
+}  // namespace gks

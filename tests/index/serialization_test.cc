@@ -1,6 +1,7 @@
 #include "index/serialization.h"
 
 #include "gtest/gtest.h"
+#include "core/result_cache.h"
 #include "data/figures.h"
 #include "tests/test_util.h"
 
@@ -76,6 +77,161 @@ TEST(SerializationTest, RejectsTrailingGarbage) {
   XmlIndex original = BuildIndexFromXml("<r><t>x</t></r>");
   std::string bytes = SerializeIndex(original) + "junk";
   EXPECT_FALSE(DeserializeIndex(bytes).ok());
+}
+
+TEST(SerializationTest, V1FormatStillWritesAndLoads) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  std::string v1 = SerializeIndex(original, IndexFormat::kV1);
+  ASSERT_EQ(v1.substr(0, 8), "GKSIDX01");
+  Result<XmlIndex> loaded = DeserializeIndex(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->inverted.term_count(), original.inverted.term_count());
+  EXPECT_EQ(loaded->inverted.posting_count(),
+            original.inverted.posting_count());
+}
+
+TEST(SerializationTest, V2IsDefaultFormat) {
+  XmlIndex original = BuildIndexFromXml("<r><t>karen</t></r>");
+  EXPECT_EQ(SerializeIndex(original).substr(0, 8), "GKSIDX02");
+}
+
+TEST(SerializationTest, V2SmallerThanV1OnRepetitiveCorpus) {
+  // The v2 savings (delta blocks + LZ sections) are a scale property; on a
+  // handful of nodes the fixed skip-table overhead dominates. Use a corpus
+  // with enough repetition to be representative.
+  std::string xml = "<bib>";
+  for (int i = 0; i < 400; ++i) {
+    xml += "<article><author>karen</author><title>generic keyword search "
+           "over xml data</title><year>2006</year></article>";
+  }
+  xml += "</bib>";
+  XmlIndex original = BuildIndexFromXml(xml);
+  std::string v1 = SerializeIndex(original, IndexFormat::kV1);
+  std::string v2 = SerializeIndex(original, IndexFormat::kV2);
+  EXPECT_LT(v2.size(), v1.size());
+}
+
+// The three load paths — v1 eager, v2 eager, v2 mmap — must be
+// observationally identical: same search results, same ranks.
+TEST(SerializationTest, AllLoadPathsAnswerQueriesIdentically) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml(), "uni.xml");
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(
+      SaveIndex(original, dir + "/cross_v1.idx", IndexFormat::kV1).ok());
+  ASSERT_TRUE(
+      SaveIndex(original, dir + "/cross_v2.idx", IndexFormat::kV2).ok());
+
+  Result<XmlIndex> v1 = LoadIndex(dir + "/cross_v1.idx");
+  Result<XmlIndex> v2 = LoadIndex(dir + "/cross_v2.idx");
+  Result<XmlIndex> v2_mapped = LoadIndexMapped(dir + "/cross_v2.idx");
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ASSERT_TRUE(v2_mapped.ok()) << v2_mapped.status().ToString();
+
+  SearchOptions options;
+  options.s = 2;
+  for (const char* query :
+       {"student karen mike", "karen", "student name", "mike"}) {
+    SearchResponse base = SearchOrDie(original, query, options);
+    for (XmlIndex* loaded : {&*v1, &*v2, &*v2_mapped}) {
+      SearchResponse got = SearchOrDie(*loaded, query, options);
+      ASSERT_EQ(base.nodes.size(), got.nodes.size()) << query;
+      for (size_t i = 0; i < base.nodes.size(); ++i) {
+        EXPECT_EQ(base.nodes[i].id, got.nodes[i].id) << query;
+        EXPECT_DOUBLE_EQ(base.nodes[i].rank, got.nodes[i].rank) << query;
+      }
+    }
+  }
+}
+
+TEST(SerializationTest, MappedLoadFallsBackOnV1Files) {
+  XmlIndex original = BuildIndexFromXml("<r><t>karen</t></r>");
+  std::string path = ::testing::TempDir() + "/mmap_v1.idx";
+  ASSERT_TRUE(SaveIndex(original, path, IndexFormat::kV1).ok());
+  Result<XmlIndex> loaded = LoadIndexMapped(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded->inverted.Find("karen"), nullptr);
+}
+
+TEST(SerializationTest, MappedIndexOutlivesTheLoadCall) {
+  // The mapping must stay alive through the index's shared_ptr anchors,
+  // including after the index itself is moved.
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  std::string path = ::testing::TempDir() + "/mmap_alive.idx";
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  Result<XmlIndex> loaded = LoadIndexMapped(path);
+  ASSERT_TRUE(loaded.ok());
+  XmlIndex moved = std::move(*loaded);
+  EXPECT_EQ(moved.nodes.size(), original.nodes.size());
+  EXPECT_EQ(moved.inverted.posting_count(), original.inverted.posting_count());
+}
+
+// Regression: every load draws a fresh epoch from the global sequence, so
+// result-cache entries keyed against one incarnation of an index file can
+// never be served for a reloaded incarnation (whose content may differ).
+TEST(SerializationTest, EveryLoadGetsADistinctEpoch) {
+  XmlIndex original = BuildIndexFromXml("<r><t>karen</t></r>");
+  std::string path = ::testing::TempDir() + "/epoch.idx";
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+
+  Result<XmlIndex> first = LoadIndex(path);
+  Result<XmlIndex> second = LoadIndex(path);
+  Result<XmlIndex> mapped = LoadIndexMapped(path);
+  ASSERT_TRUE(first.ok() && second.ok() && mapped.ok());
+  EXPECT_NE(first->epoch, 0u);
+  EXPECT_NE(first->epoch, second->epoch);
+  EXPECT_NE(second->epoch, mapped->epoch);
+  EXPECT_NE(first->epoch, mapped->epoch);
+}
+
+TEST(SerializationTest, ReloadInvalidatesResultCacheKeys) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  std::string path = ::testing::TempDir() + "/epoch_cache.idx";
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  Result<XmlIndex> first = LoadIndex(path);
+  Result<XmlIndex> second = LoadIndex(path);
+  ASSERT_TRUE(first.ok() && second.ok());
+  SearchOptions options;
+  std::string key1 = QueryResultCache::MakeKey("karen", options, first->epoch);
+  std::string key2 =
+      QueryResultCache::MakeKey("karen", options, second->epoch);
+  EXPECT_NE(key1, key2);
+}
+
+TEST(SerializationTest, InspectReportsSectionsForBothFormats) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(
+      SaveIndex(original, dir + "/inspect_v1.idx", IndexFormat::kV1).ok());
+  ASSERT_TRUE(
+      SaveIndex(original, dir + "/inspect_v2.idx", IndexFormat::kV2).ok());
+
+  Result<IndexFileInfo> v1 = InspectIndexFile(dir + "/inspect_v1.idx");
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1->version, 1);
+  ASSERT_EQ(v1->sections.size(), 4u);
+  uint64_t v1_total = 8;  // magic
+  for (const IndexSectionInfo& s : v1->sections) v1_total += s.bytes;
+  EXPECT_EQ(v1_total, v1->file_bytes);
+
+  Result<IndexFileInfo> v2 = InspectIndexFile(dir + "/inspect_v2.idx");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2->version, 2);
+  ASSERT_EQ(v2->sections.size(), 4u);
+  EXPECT_EQ(v2->sections[0].name, "catalog");
+  EXPECT_EQ(v2->sections[1].name, "nodes");
+  EXPECT_TRUE(v2->sections[1].compressed);
+  EXPECT_EQ(v2->sections[3].name, "inverted");
+  EXPECT_FALSE(v2->sections[3].compressed);
+}
+
+TEST(SerializationTest, V2RejectsTruncationEverywhere) {
+  XmlIndex original = BuildIndexFromXml("<r><t>karen</t><t>mike</t></r>");
+  std::string bytes = SerializeIndex(original, IndexFormat::kV2);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<XmlIndex> loaded = DeserializeIndex(bytes.substr(0, cut));
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
 }
 
 }  // namespace

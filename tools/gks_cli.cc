@@ -1,6 +1,6 @@
 // The `gks` command-line tool: build, inspect and query GKS indexes.
 //
-//   gks index  <out.gksidx> <file.xml...> [--threads=N]   build an index
+//   gks index  <out.gksidx> <file.xml...> [--threads=N] [--format=v2|v1]
 //   gks search <index.gksidx> "<query>" [--s=N] [--top=N] [--di=M]
 //                                        [--refine] [--schema-reconcile]
 //                                        [--explain] [--explain-json]
@@ -13,6 +13,10 @@
 //   gks schema <index.gksidx>                      DataGuide-style dump
 //   gks stats  <index.gksidx> [--metrics] [--metrics-json]
 //   gks generate <dataset> <out.xml> [--scale=F]   synthetic corpora
+//
+// Every index-reading command accepts --mmap to open the file through
+// LoadIndexMapped (zero-copy, lazy v2 sections) instead of the eager
+// loader.
 //
 // Full reference: docs/CLI.md; metric and span contract:
 // docs/OBSERVABILITY.md.
@@ -54,7 +58,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  gks index  <out.gksidx> <file.xml...> [--threads=N]\n"
+      "  gks index  <out.gksidx> <file.xml...> [--threads=N] [--format=v2|v1]\n"
       "  gks search <index.gksidx> \"<query>\" [--s=N] [--top=N] [--di=M]\n"
       "             [--refine] [--schema-reconcile] [--explain] [--chunks=N]\n"
       "             [--explain-json] [--metrics]\n"
@@ -67,6 +71,7 @@ int Usage() {
       "             [--agg=TAG] [--hist=TAG:BUCKETS]\n"
       "  gks schema <index.gksidx>\n"
       "  gks stats  <index.gksidx> [--metrics] [--metrics-json]\n"
+      "  (reader commands accept --mmap for the zero-copy lazy loader)\n"
       "  gks generate <dblp|sigmod|mondial|swissprot|interpro|protein|nasa|"
       "treebank> <out.xml> [--scale=F]\n");
   return 2;
@@ -77,7 +82,12 @@ int Fail(const Status& status) {
   return 1;
 }
 
-Result<XmlIndex> LoadOrFail(const std::string& path) { return LoadIndex(path); }
+// --mmap selects the zero-copy loader: the file is mapped read-only and
+// v2 sections decode lazily on first touch (docs/PERFORMANCE.md).
+Result<XmlIndex> LoadOrFail(const FlagParser& flags,
+                            const std::string& path) {
+  return flags.GetBool("mmap") ? LoadIndexMapped(path) : LoadIndex(path);
+}
 
 // Builds with --threads=N workers: documents are parsed into per-file
 // partial indexes on the pool and merged deterministically, so the output
@@ -117,7 +127,11 @@ int CmdIndex(const FlagParser& flags) {
   WallTimer timer;
   Result<XmlIndex> index = BuildIndexFromArgs(flags, args);
   if (!index.ok()) return Fail(index.status());
-  if (Status status = SaveIndex(*index, args[1]); !status.ok()) {
+  std::string format_name = flags.GetString("format", "v2");
+  if (format_name != "v1" && format_name != "v2") return Usage();
+  IndexFormat format =
+      format_name == "v1" ? IndexFormat::kV1 : IndexFormat::kV2;
+  if (Status status = SaveIndex(*index, args[1], format); !status.ok()) {
     return Fail(status);
   }
   std::printf("wrote %s: %zu docs, %llu elements, %zu terms, %llu postings "
@@ -137,7 +151,7 @@ int CmdIndex(const FlagParser& flags) {
 int CmdSearch(const FlagParser& flags) {
   const auto& args = flags.positional();
   if (args.size() < 3) return Usage();
-  Result<XmlIndex> index = LoadOrFail(args[1]);
+  Result<XmlIndex> index = LoadOrFail(flags, args[1]);
   if (!index.ok()) return Fail(index.status());
 
   if (flags.GetBool("schema-reconcile")) {
@@ -219,7 +233,7 @@ int CmdSearch(const FlagParser& flags) {
 int CmdBatch(const FlagParser& flags) {
   const auto& args = flags.positional();
   if (args.size() < 3) return Usage();
-  Result<XmlIndex> index = LoadOrFail(args[1]);
+  Result<XmlIndex> index = LoadOrFail(flags, args[1]);
   if (!index.ok()) return Fail(index.status());
 
   std::string text;
@@ -307,7 +321,7 @@ int CmdBatch(const FlagParser& flags) {
 int CmdAnalyze(const FlagParser& flags) {
   const auto& args = flags.positional();
   if (args.size() < 3) return Usage();
-  Result<XmlIndex> index = LoadOrFail(args[1]);
+  Result<XmlIndex> index = LoadOrFail(flags, args[1]);
   if (!index.ok()) return Fail(index.status());
 
   SearchOptions options;
@@ -361,7 +375,7 @@ int CmdAnalyze(const FlagParser& flags) {
 int CmdSchema(const FlagParser& flags) {
   const auto& args = flags.positional();
   if (args.size() < 2) return Usage();
-  Result<XmlIndex> index = LoadOrFail(args[1]);
+  Result<XmlIndex> index = LoadOrFail(flags, args[1]);
   if (!index.ok()) return Fail(index.status());
   SchemaSummary summary = SchemaSummary::Build(*index);
   std::printf("%s", summary.ToString(*index).c_str());
@@ -371,7 +385,7 @@ int CmdSchema(const FlagParser& flags) {
 int CmdStats(const FlagParser& flags) {
   const auto& args = flags.positional();
   if (args.size() < 2) return Usage();
-  Result<XmlIndex> index = LoadOrFail(args[1]);
+  Result<XmlIndex> index = LoadOrFail(flags, args[1]);
   if (!index.ok()) return Fail(index.status());
   const auto& counts = index->nodes.counts();
   std::printf("documents : %zu\n", index->catalog.document_count());
@@ -391,6 +405,15 @@ int CmdStats(const FlagParser& flags) {
               (unsigned long long)index->inverted.posting_count());
   std::printf("attr dir  : %zu values\n", index->attributes.size());
   std::printf("memory    : %s\n", HumanBytes(index->MemoryUsage()).c_str());
+  if (Result<IndexFileInfo> info = InspectIndexFile(args[1]); info.ok()) {
+    std::printf("on disk   : %s (format v%d)\n",
+                HumanBytes(info->file_bytes).c_str(), info->version);
+    for (const IndexSectionInfo& section : info->sections) {
+      std::printf("  %-10s %10s%s\n", section.name.c_str(),
+                  HumanBytes(section.bytes).c_str(),
+                  section.compressed ? "  (lz)" : "");
+    }
+  }
   if (flags.GetBool("metrics-json")) {
     std::printf("%s\n", MetricsRegistry::Global().Snapshot().ToJson().c_str());
   } else if (flags.GetBool("metrics")) {
