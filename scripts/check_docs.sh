@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Docs lint (registered with ctest as `check_docs`): keeps
-# docs/OBSERVABILITY.md and the source tree in sync so the documented
-# observability contract cannot silently rot.
+# docs/OBSERVABILITY.md and docs/SERVER.md in sync with the source tree
+# so the documented operational contracts cannot silently rot.
 #
 #   1. Every span name listed between the span-names markers must be
 #      created somewhere in src/ or tools/ (ScopedSpan / GKS_TRACE_SPAN).
 #   2. Every span literal created in src/ or tools/ must be documented.
 #   3. Every statically-named metric listed between the metric-names
 #      markers must appear verbatim in src/ or tools/.
+#   4. Every `--flag` listed between the serve-flags markers of
+#      docs/SERVER.md must be read by the serve command (and every flag
+#      the command reads must be documented).
+#   5. The wire error codes documented in docs/SERVER.md must match the
+#      wire_error constants of src/server/protocol.h, both directions.
+#   6. Relative markdown links in docs/SERVER.md must resolve.
 #
 # Usage: check_docs.sh [repo-root]   (defaults to the script's parent)
 
@@ -15,16 +21,21 @@ set -euo pipefail
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 doc="$root/docs/OBSERVABILITY.md"
+server_doc="$root/docs/SERVER.md"
 fail=0
 
 if [[ ! -f "$doc" ]]; then
   echo "check_docs: missing $doc" >&2
   exit 1
 fi
+if [[ ! -f "$server_doc" ]]; then
+  echo "check_docs: missing $server_doc" >&2
+  exit 1
+fi
 
-extract_block() {  # extract_block <marker> — backticked names in a block
-  awk "/<!-- $1:begin -->/,/<!-- $1:end -->/" "$doc" \
-    | grep -oE '`[a-z0-9_.]+`' | tr -d '`' | sort -u
+extract_block() {  # extract_block <marker> [file] — backticked names
+  awk "/<!-- $1:begin -->/,/<!-- $1:end -->/" "${2:-$doc}" \
+    | grep -oE '`[a-z0-9_.-]+`' | tr -d '`' | sort -u
 }
 
 doc_spans=$(extract_block "span-names")
@@ -66,9 +77,69 @@ for name in $doc_metrics; do
   fi
 done
 
+# 4. serve flags: documented <-> read by the serve command
+doc_flags=$(extract_block "serve-flags" "$server_doc" | sed 's/^--//')
+if [[ -z "$doc_flags" ]]; then
+  echo "check_docs: no flags found between serve-flags markers in" \
+       "docs/SERVER.md" >&2
+  fail=1
+fi
+serve_src="$root/src/server/command.cc"
+for name in $doc_flags; do
+  if ! grep -qF "\"$name\"" "$serve_src"; then
+    echo "check_docs: flag '--$name' is documented in docs/SERVER.md but" \
+         "never read in src/server/command.cc" >&2
+    fail=1
+  fi
+done
+src_flags=$(sed -n '/^int RunServeCommand/,/^}/p' "$serve_src" \
+  | grep -oE 'Get(String|Int|Double|Bool)\("[a-z-]+"' \
+  | grep -oE '"[a-z-]+"' | tr -d '"' | sort -u)
+for name in $src_flags; do
+  if ! grep -qx "$name" <<<"$doc_flags"; then
+    echo "check_docs: serve flag '--$name' is read in" \
+         "src/server/command.cc but not documented in docs/SERVER.md" >&2
+    fail=1
+  fi
+done
+
+# 5. wire error codes: documented <-> defined in protocol.h
+doc_errors=$(extract_block "error-codes" "$server_doc")
+src_errors=$(grep -oE 'std::string_view k[A-Za-z]+ = "[a-z_]+"' \
+    "$root/src/server/protocol.h" \
+  | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+for name in $doc_errors; do
+  if ! grep -qx "$name" <<<"$src_errors"; then
+    echo "check_docs: error code '$name' is documented in docs/SERVER.md" \
+         "but not defined in src/server/protocol.h" >&2
+    fail=1
+  fi
+done
+for name in $src_errors; do
+  if ! grep -qx "$name" <<<"$doc_errors"; then
+    echo "check_docs: error code '$name' is defined in" \
+         "src/server/protocol.h but not documented in docs/SERVER.md" >&2
+    fail=1
+  fi
+done
+
+# 6. relative links in docs/SERVER.md must resolve
+while IFS= read -r link; do
+  target="${link%%#*}"
+  [[ -z "$target" ]] && continue  # pure fragment
+  if [[ ! -e "$root/docs/$target" ]]; then
+    echo "check_docs: docs/SERVER.md links to '$link' but" \
+         "docs/$target does not exist" >&2
+    fail=1
+  fi
+done < <(grep -oE '\]\([^)]+\)' "$server_doc" | sed 's/^](//; s/)$//' \
+         | grep -vE '^(https?:|#)' | sort -u)
+
 if [[ "$fail" -ne 0 ]]; then
-  echo "check_docs: FAILED — update docs/OBSERVABILITY.md or the source" >&2
+  echo "check_docs: FAILED — update the docs or the source" >&2
   exit 1
 fi
 echo "check_docs: OK ($(wc -w <<<"$doc_spans") spans," \
-     "$(wc -w <<<"$doc_metrics") metrics verified)"
+     "$(wc -w <<<"$doc_metrics") metrics," \
+     "$(wc -w <<<"$doc_flags") serve flags," \
+     "$(wc -w <<<"$doc_errors") error codes verified)"

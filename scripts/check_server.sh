@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Server smoke test (registered with ctest as `check_server_smoke`):
+# exercises the real binaries end to end — generate a small DBLP corpus,
+# index it, start `gks serve` on an ephemeral port, then drive it with
+# gks_client: single queries, a load run across several connections, the
+# admin verbs (health/stats/metrics), a hot reload (epoch must advance),
+# and finally `quit`, after which the server process must exit 0 having
+# drained cleanly.
+#
+# Usage: check_server.sh <gks-binary> <gks_client-binary>
+
+set -euo pipefail
+
+gks="${1:?usage: check_server.sh <gks-binary> <gks_client-binary>}"
+client="${2:?usage: check_server.sh <gks-binary> <gks_client-binary>}"
+
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { echo "check_server: FAILED — $*" >&2; exit 1; }
+
+"$gks" generate dblp "$work/dblp.xml" --scale=0.02 >/dev/null
+"$gks" index "$work/dblp.gksidx" "$work/dblp.xml" >/dev/null
+
+# --port=0: the kernel picks; parse the bound port from the startup line
+# ("listening on <host>:<port>" is a stable contract of `gks serve`).
+"$gks" serve "$work/dblp.gksidx" --port=0 --threads=2 \
+    > "$work/serve.log" 2> "$work/serve.err" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -nE 's/.*listening on [0-9.]+:([0-9]+).*/\1/p' \
+         "$work/serve.log" | head -1)
+  [[ -n "$port" ]] && break
+  kill -0 "$server_pid" 2>/dev/null \
+    || fail "server exited early: $(cat "$work/serve.err")"
+  sleep 0.1
+done
+[[ -n "$port" ]] || fail "no 'listening on' line in $(cat "$work/serve.log")"
+
+run_client() { "$client" --host=127.0.0.1 --port="$port" "$@"; }
+
+# Single query round-trip.
+run_client --query="database" --s=1 --top=5 > "$work/query.out" \
+  || fail "query failed: $(cat "$work/query.out")"
+grep -q "epoch" "$work/query.out" || fail "query output lacks an epoch"
+
+# Admin verbs.
+run_client --admin=health | grep -q "status: serving" \
+  || fail "health did not report serving"
+run_client --admin=stats | grep -q "postings" \
+  || fail "stats did not report postings"
+run_client --admin=metrics | grep -q "gks.server.requests_total" \
+  || fail "metrics snapshot lacks gks.server.requests_total"
+
+# Load run: 4 connections x 50 requests; the client exits non-zero unless
+# every response arrived, parsed, and was ok/overloaded/deadline.
+printf 'database\nxml keyword search\n"Peter Buneman"\n' > "$work/queries.txt"
+run_client --queries="$work/queries.txt" --connections=4 --requests=50 \
+    > "$work/load.out" || fail "load run not clean: $(cat "$work/load.out")"
+
+# Hot reload must advance the epoch and keep serving.
+epoch_before=$(run_client --admin=health | sed -n 's/^epoch : //p')
+run_client --admin=reload | grep -q "status: reloaded" \
+  || fail "reload was not acknowledged"
+epoch_after=$(run_client --admin=health | sed -n 's/^epoch : //p')
+[[ "$epoch_after" -gt "$epoch_before" ]] \
+  || fail "epoch did not advance across reload ($epoch_before -> $epoch_after)"
+run_client --query="database" >/dev/null || fail "query after reload failed"
+
+# SIGHUP is the same reload on the signal path.
+kill -HUP "$server_pid"
+for _ in $(seq 1 50); do
+  grep -q "reloaded" "$work/serve.err" && break
+  sleep 0.1
+done
+grep -q "reloaded" "$work/serve.err" || fail "SIGHUP reload never logged"
+
+# Quit: the server acknowledges, drains, and exits 0.
+run_client --admin=quit | grep -q "status: draining" \
+  || fail "quit was not acknowledged with draining"
+server_exit=0
+wait "$server_pid" || server_exit=$?
+server_pid=""
+[[ "$server_exit" -eq 0 ]] || fail "server exited $server_exit after quit"
+grep -q "drained" "$work/serve.log" || fail "no drain summary in server log"
+
+echo "check_server: OK (port $port, epochs $epoch_before -> $epoch_after)"

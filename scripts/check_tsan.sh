@@ -2,8 +2,9 @@
 # ThreadSanitizer sweep (registered with ctest as `check_tsan`): builds the
 # concurrency-sensitive test binaries in a dedicated build tree configured
 # with -DGKS_SANITIZE=thread and runs the suites that exercise the thread
-# pool, SearchBatch fan-out, the shared result cache and the parallel
-# index build. Any data race TSan reports fails the run.
+# pool, SearchBatch fan-out, the shared result cache, the parallel
+# index build and the query server (accept loop, admission control, hot
+# reload, drain). Any data race TSan reports fails the run.
 #
 # The build tree (<repo>/build-tsan) is incremental: the first run pays a
 # full compile, later runs only relink what changed.
@@ -32,7 +33,7 @@ cmake -S "$root" -B "$build" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGKS_SANITIZE=thread >/dev/null
 cmake --build "$build" -j \
-  --target common_test core_test integration_test >/dev/null
+  --target common_test core_test integration_test server_test >/dev/null
 
 # Second-guess nothing: a TSan report aborts with a non-zero exit.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -43,5 +44,7 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
   --gtest_filter='QueryResultCache*' --gtest_brief=1
 "$build/tests/integration_test" \
   --gtest_filter='Concurrency*:ParallelDeterminism*' --gtest_brief=1
+"$build/tests/server_test" \
+  --gtest_filter='ServerIntegration*' --gtest_brief=1
 
 echo "check_tsan: OK"

@@ -1,0 +1,343 @@
+#include "common/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace gks {
+namespace {
+
+const std::string kEmptyString;
+const std::vector<JsonValue> kEmptyArray;
+const std::map<std::string, JsonValue, std::less<>> kEmptyObject;
+
+}  // namespace
+
+const std::string& JsonValue::GetString() const {
+  return is_string() ? string_ : kEmptyString;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  return array_ ? *array_ : kEmptyArray;
+}
+
+const std::map<std::string, JsonValue, std::less<>>& JsonValue::members()
+    const {
+  return object_ ? *object_ : kEmptyObject;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object() || !object_) return nullptr;
+  auto it = object_->find(key);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue value;
+  value.kind_ = Kind::kBool;
+  value.bool_ = v;
+  return value;
+}
+
+JsonValue JsonValue::MakeInt(int64_t v) {
+  JsonValue value;
+  value.kind_ = Kind::kInt;
+  value.int_ = v;
+  value.double_ = static_cast<double>(v);
+  return value;
+}
+
+JsonValue JsonValue::MakeDouble(double v) {
+  JsonValue value;
+  value.kind_ = Kind::kDouble;
+  value.double_ = v;
+  return value;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue value;
+  value.kind_ = Kind::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+/// Recursive-descent parser over a bounded string_view. Errors carry the
+/// byte offset (same convention as the varint/LZ decoders).
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    GKS_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        GKS_RETURN_IF_ERROR(ParseLiteral("true"));
+        *out = JsonValue::MakeBool(true);
+        return Status::OK();
+      case 'f':
+        GKS_RETURN_IF_ERROR(ParseLiteral("false"));
+        *out = JsonValue::MakeBool(false);
+        return Status::OK();
+      case 'n':
+        GKS_RETURN_IF_ERROR(ParseLiteral("null"));
+        *out = JsonValue();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* literal) {
+    size_t len = std::strlen(literal);
+    if (text_.substr(pos_, len) != literal) return Error("invalid literal");
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    out->object_ =
+        std::make_shared<std::map<std::string, JsonValue, std::less<>>>();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      GKS_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      GKS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      (*out->object_)[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    out->array_ = std::make_shared<std::vector<JsonValue>>();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      GKS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array_->push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t code = 0;
+          GKS_RETURN_IF_ERROR(ParseHex4(&code));
+          // Surrogate pair: combine \uD8xx\uDCxx into one code point.
+          // Lone surrogates are malformed — they have no UTF-8 form.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (text_.substr(pos_, 2) != "\\u") {
+              return Error("lone high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            GKS_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("lone low surrogate in \\u escape");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          --pos_;
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else {
+        --pos_;
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      return Error("invalid value");
+    }
+    // JSON forbids leading zeros: 0, 0.5 and 0e1 are fine, 01 is not.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return Error("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digit expected after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digit expected in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        *out = JsonValue::MakeInt(v);
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    *out = JsonValue::MakeDouble(std::strtod(token.c_str(), nullptr));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t max_depth_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text, size_t max_depth) {
+  return JsonParser(text, max_depth).Parse();
+}
+
+}  // namespace gks

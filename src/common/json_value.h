@@ -1,0 +1,96 @@
+#ifndef GKS_COMMON_JSON_VALUE_H_
+#define GKS_COMMON_JSON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gks {
+
+/// A parsed JSON document — the read-side counterpart of JsonWriter.
+/// Built for the server wire protocol (one request object per line) and
+/// for test assertions over server/CLI JSON output, so it favours a small
+/// immutable tree over speed tricks: parse once, navigate with typed
+/// accessors, throw nothing.
+///
+/// Numbers keep both representations: every number parses as a double;
+/// integral tokens that fit int64 additionally report is_int(), which is
+/// what the protocol uses for ids, counts and epochs.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Parses exactly one JSON value (leading/trailing whitespace allowed;
+  /// trailing garbage is an error). InvalidArgument on malformed input,
+  /// with a byte offset in the message. `max_depth` bounds array/object
+  /// nesting against attacker-shaped input.
+  static Result<JsonValue> Parse(std::string_view text, size_t max_depth = 64);
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed reads with caller defaults — the lenient accessors the
+  /// protocol uses for optional fields. Wrong-kind reads return the
+  /// default rather than failing.
+  bool GetBool(bool default_value = false) const {
+    return is_bool() ? bool_ : default_value;
+  }
+  int64_t GetInt(int64_t default_value = 0) const {
+    if (kind_ == Kind::kInt) return int_;
+    if (kind_ == Kind::kDouble) return static_cast<int64_t>(double_);
+    return default_value;
+  }
+  double GetDouble(double default_value = 0.0) const {
+    if (kind_ == Kind::kDouble) return double_;
+    if (kind_ == Kind::kInt) return static_cast<double>(int_);
+    return default_value;
+  }
+  const std::string& GetString() const;  // empty string when not a string
+
+  /// Array access; empty vector when not an array.
+  const std::vector<JsonValue>& items() const;
+  size_t size() const { return is_array() ? items().size() : 0; }
+
+  /// Object member lookup: nullptr when absent or not an object. Members
+  /// preserve no insertion order (sorted by key).
+  const JsonValue* Find(std::string_view key) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  const std::map<std::string, JsonValue, std::less<>>& members() const;
+
+  /// Construction helpers for tests.
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeInt(int64_t v);
+  static JsonValue MakeDouble(double v);
+  static JsonValue MakeString(std::string v);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  // Indirect so an empty JsonValue stays cheap to copy around.
+  std::shared_ptr<std::vector<JsonValue>> array_;
+  std::shared_ptr<std::map<std::string, JsonValue, std::less<>>> object_;
+};
+
+}  // namespace gks
+
+#endif  // GKS_COMMON_JSON_VALUE_H_

@@ -1,0 +1,216 @@
+#include "server/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/timer.h"
+#include "server/net.h"
+
+namespace gks {
+
+ServerConnection::~ServerConnection() { Close(); }
+
+ServerConnection::ServerConnection(ServerConnection&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ServerConnection& ServerConnection::operator=(
+    ServerConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServerConnection::Close() {
+  net::CloseFd(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+Result<ServerConnection> ServerConnection::Open(const std::string& host,
+                                                int port) {
+  ServerConnection connection;
+  GKS_ASSIGN_OR_RETURN(connection.fd_, net::Connect(host, port));
+  return connection;
+}
+
+Status ServerConnection::ReadResponseLine(std::string* line) {
+  // A fresh LineReader per call would drop buffered bytes; keep our own
+  // buffer with the same framing rules instead (responses are
+  // server-generated, so no per-line size cap is needed here).
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      size_t end = newline;
+      if (end > 0 && buffer_[end - 1] == '\r') --end;
+      line->assign(buffer_, 0, end);
+      buffer_.erase(0, newline + 1);
+      return Status::OK();
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read from server failed");
+    }
+    if (n == 0) return Status::IOError("server closed the connection");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<JsonValue> ServerConnection::Call(const std::string& request_json) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  GKS_RETURN_IF_ERROR(net::WriteAll(fd_, request_json + "\n"));
+  std::string line;
+  GKS_RETURN_IF_ERROR(ReadResponseLine(&line));
+  return JsonValue::Parse(line);
+}
+
+Result<JsonValue> ServerConnection::Query(const std::string& query_text,
+                                          uint32_t s, size_t top) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("query").String(query_text);
+  json.Key("s").UInt(s);
+  json.Key("top").UInt(top);
+  json.EndObject();
+  return Call(json.str());
+}
+
+Result<JsonValue> ServerConnection::Admin(const std::string& verb,
+                                          const std::string& reload_path) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("cmd").String(verb);
+  if (!reload_path.empty()) json.Key("path").String(reload_path);
+  json.EndObject();
+  return Call(json.str());
+}
+
+std::string LoadReport::ToString() const {
+  char buffer[512];
+  double seconds = elapsed_ms / 1000.0;
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "%llu requests: %llu ok, %llu overloaded, %llu deadline, "
+      "%llu errors, %llu transport, %llu bad-json in %.2fms "
+      "(%.1f q/s; p50=%.3fms p95=%.3fms max=%.3fms; %zu epoch%s)",
+      (unsigned long long)sent, (unsigned long long)ok,
+      (unsigned long long)overloaded, (unsigned long long)deadline_exceeded,
+      (unsigned long long)other_errors,
+      (unsigned long long)transport_failures,
+      (unsigned long long)invalid_json, elapsed_ms,
+      seconds > 0.0 ? static_cast<double>(sent) / seconds : 0.0, p50_ms,
+      p95_ms, max_ms, epochs_seen.size(),
+      epochs_seen.size() == 1 ? "" : "s");
+  return buffer;
+}
+
+Result<LoadReport> RunLoad(const LoadOptions& options) {
+  if (options.queries.empty()) {
+    return Status::InvalidArgument("load generator needs >= 1 query");
+  }
+  struct WorkerResult {
+    LoadReport report;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<WorkerResult> results(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  WallTimer timer;
+  for (size_t w = 0; w < options.connections; ++w) {
+    workers.emplace_back([&options, &results, w] {
+      WorkerResult& result = results[w];
+      Result<ServerConnection> connection =
+          ServerConnection::Open(options.host, options.port);
+      if (!connection.ok()) {
+        // Count every planned request as a transport failure so the
+        // totals still add up for the caller.
+        result.report.sent = options.requests_per_connection;
+        result.report.transport_failures = options.requests_per_connection;
+        return;
+      }
+      for (size_t i = 0; i < options.requests_per_connection; ++i) {
+        const std::string& query =
+            options.queries[(w + i) % options.queries.size()];
+        ++result.report.sent;
+        WallTimer request_timer;
+        Result<JsonValue> response =
+            connection->Query(query, options.s, options.top);
+        result.latencies_ms.push_back(request_timer.ElapsedMillis());
+        if (!response.ok()) {
+          ++result.report.transport_failures;
+          break;  // the stream is broken; stop this connection
+        }
+        if (!response->is_object() || !response->Has("ok")) {
+          ++result.report.invalid_json;
+          continue;
+        }
+        if (response->Find("ok")->GetBool()) {
+          ++result.report.ok;
+          if (const JsonValue* epoch = response->Find("epoch")) {
+            result.report.epochs_seen.push_back(
+                static_cast<uint64_t>(epoch->GetInt()));
+          }
+          continue;
+        }
+        const JsonValue* error = response->Find("error");
+        const std::string& code = error ? error->GetString() : "";
+        if (code == "overloaded") {
+          ++result.report.overloaded;
+        } else if (code == "deadline_exceeded") {
+          ++result.report.deadline_exceeded;
+        } else {
+          ++result.report.other_errors;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  LoadReport merged;
+  merged.elapsed_ms = timer.ElapsedMillis();
+  std::vector<double> latencies;
+  for (WorkerResult& result : results) {
+    merged.sent += result.report.sent;
+    merged.ok += result.report.ok;
+    merged.overloaded += result.report.overloaded;
+    merged.deadline_exceeded += result.report.deadline_exceeded;
+    merged.other_errors += result.report.other_errors;
+    merged.transport_failures += result.report.transport_failures;
+    merged.invalid_json += result.report.invalid_json;
+    merged.epochs_seen.insert(merged.epochs_seen.end(),
+                              result.report.epochs_seen.begin(),
+                              result.report.epochs_seen.end());
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+  }
+  std::sort(merged.epochs_seen.begin(), merged.epochs_seen.end());
+  merged.epochs_seen.erase(
+      std::unique(merged.epochs_seen.begin(), merged.epochs_seen.end()),
+      merged.epochs_seen.end());
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto at = [&latencies](double p) {
+      size_t i = static_cast<size_t>(p * static_cast<double>(latencies.size() - 1));
+      return latencies[i];
+    };
+    merged.p50_ms = at(0.50);
+    merged.p95_ms = at(0.95);
+    merged.max_ms = latencies.back();
+  }
+  return merged;
+}
+
+}  // namespace gks

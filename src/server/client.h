@@ -1,0 +1,93 @@
+#ifndef GKS_SERVER_CLIENT_H_
+#define GKS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json_value.h"
+#include "common/result.h"
+
+namespace gks {
+
+/// Client side of the docs/SERVER.md wire protocol: one blocking
+/// connection plus a multi-connection load generator. Shared by the
+/// `gks client` command, the standalone `gks_client` tool, and the
+/// server integration/smoke tests.
+class ServerConnection {
+ public:
+  ServerConnection() = default;
+  ~ServerConnection();
+  ServerConnection(ServerConnection&& other) noexcept;
+  ServerConnection& operator=(ServerConnection&& other) noexcept;
+  ServerConnection(const ServerConnection&) = delete;
+  ServerConnection& operator=(const ServerConnection&) = delete;
+
+  static Result<ServerConnection> Open(const std::string& host, int port);
+
+  /// Sends one raw request line (newline appended) and blocks for the
+  /// response line, parsed as JSON. IOError when the server closed.
+  Result<JsonValue> Call(const std::string& request_json);
+
+  /// Convenience wrappers over Call.
+  Result<JsonValue> Query(const std::string& query_text, uint32_t s = 1,
+                          size_t top = 10);
+  Result<JsonValue> Admin(const std::string& verb,
+                          const std::string& reload_path = "");
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  // LineReader buffers ahead; kept via pimpl-free composition.
+  std::string buffer_;
+  Status ReadResponseLine(std::string* line);
+};
+
+/// Load-generator verdict — everything the bench, smoke script and
+/// integration test assert on.
+struct LoadReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;         // shed by admission control
+  uint64_t deadline_exceeded = 0;  // expired in queue
+  uint64_t other_errors = 0;       // bad_request / search_failed / ...
+  uint64_t transport_failures = 0; // connect/read/write breakdowns
+  uint64_t invalid_json = 0;       // responses that failed to parse
+  double elapsed_ms = 0.0;
+  double p50_ms = 0.0;   // per-request round-trip percentiles
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+  std::vector<uint64_t> epochs_seen;  // distinct, ascending
+
+  /// All responses arrived, parsed, and were either ok or a documented
+  /// shed/deadline error.
+  bool clean() const {
+    return transport_failures == 0 && invalid_json == 0 &&
+           other_errors == 0 && ok + overloaded + deadline_exceeded == sent;
+  }
+  std::string ToString() const;
+};
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  size_t connections = 4;
+  /// Requests issued per connection (total = connections * requests).
+  size_t requests_per_connection = 100;
+  /// Queries cycled round-robin per connection; must be non-empty.
+  std::vector<std::string> queries;
+  uint32_t s = 1;
+  size_t top = 10;
+};
+
+/// Runs the load: `connections` threads, each with its own connection,
+/// issuing requests back to back. Returns the merged report (never a
+/// Status error — transport breakdowns are counted, not thrown — except
+/// for an empty query list).
+Result<LoadReport> RunLoad(const LoadOptions& options);
+
+}  // namespace gks
+
+#endif  // GKS_SERVER_CLIENT_H_

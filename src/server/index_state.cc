@@ -1,0 +1,55 @@
+#include "server/index_state.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "index/serialization.h"
+
+namespace gks {
+
+Result<XmlIndex> ServerIndexState::LoadFrom(const std::string& path) const {
+  return mmap_ ? LoadIndexMapped(path) : LoadIndex(path);
+}
+
+Status ServerIndexState::Load() {
+  GKS_ASSIGN_OR_RETURN(XmlIndex index, LoadFrom(path_));
+  auto loaded = std::make_shared<const XmlIndex>(std::move(index));
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = std::move(loaded);
+  return Status::OK();
+}
+
+Result<uint64_t> ServerIndexState::Reload(const std::string& path_override) {
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  std::string path = path_override.empty() ? path_ : path_override;
+  // The load runs outside mu_: queries keep taking snapshots of the old
+  // index while the new one decodes.
+  GKS_ASSIGN_OR_RETURN(XmlIndex index, LoadFrom(path));
+  auto loaded = std::make_shared<const XmlIndex>(std::move(index));
+  uint64_t epoch = loaded->epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_ = std::move(loaded);
+    path_ = std::move(path);
+  }
+  MetricsRegistry::Global().GetCounter("gks.server.reloads_total")
+      ->Increment();
+  return epoch;
+}
+
+std::shared_ptr<const XmlIndex> ServerIndexState::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+uint64_t ServerIndexState::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_ ? snapshot_->epoch : 0;
+}
+
+std::string ServerIndexState::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+}  // namespace gks

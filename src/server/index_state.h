@@ -1,0 +1,67 @@
+#ifndef GKS_SERVER_INDEX_STATE_H_
+#define GKS_SERVER_INDEX_STATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// The server's resident index: an atomically swappable snapshot behind a
+/// shared_ptr. Queries copy the pointer once at admission and run against
+/// that immutable snapshot for their whole lifetime, so a concurrent
+/// Reload never invalidates an in-flight query — the retired index stays
+/// alive until the last query holding it drops its reference.
+///
+/// Epoch discipline: every load path (LoadIndex / LoadIndexMapped) stamps
+/// a fresh process-unique XmlIndex::epoch, and the QueryResultCache keys
+/// on it, so responses computed against the retired snapshot can never be
+/// served for the new one (and vice versa) — hot reload requires no cache
+/// flush at all (docs/SERVER.md).
+///
+/// The swap itself is a pointer assignment under a mutex (shared_ptr copy
+/// in/out); the expensive load happens outside the lock, so readers are
+/// never blocked behind disk I/O.
+class ServerIndexState {
+ public:
+  /// `mmap` selects LoadIndexMapped (lazy sections) over the eager
+  /// loader for Load and every later Reload.
+  ServerIndexState(std::string path, bool mmap)
+      : path_(std::move(path)), mmap_(mmap) {}
+
+  /// Initial load; the server refuses to start without one good index.
+  Status Load();
+
+  /// Loads a fresh index from `path_override` (empty = the current path)
+  /// and swaps it in. On success the override becomes the current path
+  /// and the new epoch is returned; on failure the old snapshot keeps
+  /// serving untouched. Serialized internally — concurrent reloads queue.
+  Result<uint64_t> Reload(const std::string& path_override = "");
+
+  /// The current snapshot (never null after a successful Load).
+  std::shared_ptr<const XmlIndex> snapshot() const;
+
+  /// Epoch of the current snapshot; 0 before the first Load.
+  uint64_t epoch() const;
+
+  /// The path the current snapshot was loaded from (copy: reloads may
+  /// retarget it concurrently).
+  std::string path() const;
+
+ private:
+  Result<XmlIndex> LoadFrom(const std::string& path) const;
+
+  std::string path_;
+  const bool mmap_;
+  mutable std::mutex mu_;        // guards snapshot_ + path_ swaps
+  std::mutex reload_mu_;         // serializes whole reload operations
+  std::shared_ptr<const XmlIndex> snapshot_;
+};
+
+}  // namespace gks
+
+#endif  // GKS_SERVER_INDEX_STATE_H_

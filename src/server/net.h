@@ -1,0 +1,69 @@
+#ifndef GKS_SERVER_NET_H_
+#define GKS_SERVER_NET_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gks::net {
+
+/// Thin POSIX socket layer shared by the server accept loop, the client
+/// library and the tests. Everything reports through Status/Result; no
+/// exceptions, no global state. IPv4 only — the server binds loopback by
+/// default and GKS deployments front it with a real proxy for anything
+/// fancier (docs/SERVER.md).
+
+/// Binds and listens on host:port. `port == 0` asks the kernel for an
+/// ephemeral port — read it back with BoundPort (how tests and the smoke
+/// script avoid collisions). Returns the listening fd.
+Result<int> Listen(const std::string& host, int port, int backlog = 128);
+
+/// The local port a bound socket ended up on.
+Result<int> BoundPort(int fd);
+
+/// Waits up to `timeout_ms` for a connection. Returns the accepted fd,
+/// -1 on timeout (so callers can poll shutdown/reload flags), an error
+/// Status on a real failure.
+Result<int> AcceptWithTimeout(int listen_fd, int timeout_ms);
+
+/// Blocking connect to host:port; returns the connected fd.
+Result<int> Connect(const std::string& host, int port);
+
+/// Close if `fd >= 0`; idempotent via the caller keeping -1 after.
+void CloseFd(int fd);
+
+/// Half-close both directions — unblocks a peer (or own thread) stuck in
+/// read() without racing the fd number like close() would.
+void ShutdownFd(int fd);
+
+/// Writes the whole buffer, looping over partial writes and EINTR.
+Status WriteAll(int fd, std::string_view data);
+
+/// Buffered newline-delimited reader over one socket — the wire framing
+/// of the query protocol (docs/SERVER.md). Lines longer than `max_line`
+/// fail with OutOfRange *before* buffering the rest, which is how the
+/// server bounds per-connection memory against oversized requests.
+class LineReader {
+ public:
+  explicit LineReader(int fd, size_t max_line = 1 << 20)
+      : fd_(fd), max_line_(max_line) {}
+
+  /// OK: one line in `*line`, terminator stripped (\n or \r\n).
+  /// NotFound: clean EOF with no buffered partial line.
+  /// OutOfRange: line exceeded max_line (connection should be dropped —
+  ///   the stream can no longer be framed).
+  /// IOError: read failure / EOF mid-line.
+  Status ReadLine(std::string* line);
+
+ private:
+  int fd_;
+  size_t max_line_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace gks::net
+
+#endif  // GKS_SERVER_NET_H_

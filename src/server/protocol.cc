@@ -1,0 +1,224 @@
+#include "server/protocol.h"
+
+#include "common/json_writer.h"
+
+namespace gks {
+namespace {
+
+/// Fields a query request may carry; anything else is a bad_request.
+bool IsKnownQueryField(std::string_view key) {
+  return key == "query" || key == "s" || key == "top" || key == "di" ||
+         key == "refine" || key == "explain" || key == "id";
+}
+
+/// Fields an admin request may carry.
+bool IsKnownAdminField(std::string_view key) {
+  return key == "cmd" || key == "path" || key == "id";
+}
+
+Status ParseId(const JsonValue& id, WireRequest* out) {
+  if (id.is_string()) {
+    out->has_id = true;
+    out->id_is_string = true;
+    out->id_string = id.GetString();
+    return Status::OK();
+  }
+  if (id.is_int()) {
+    out->has_id = true;
+    out->id_int = id.GetInt();
+    return Status::OK();
+  }
+  return Status::InvalidArgument("'id' must be a string or an integer");
+}
+
+void EmitId(const WireRequest& request, JsonWriter* json) {
+  if (!request.has_id) return;
+  json->Key("id");
+  if (request.id_is_string) {
+    json->String(request.id_string);
+  } else {
+    json->Int(request.id_int);
+  }
+}
+
+}  // namespace
+
+Result<WireRequest> ParseWireRequest(std::string_view line) {
+  GKS_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(line));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  WireRequest request;
+  if (const JsonValue* id = root.Find("id")) {
+    GKS_RETURN_IF_ERROR(ParseId(*id, &request));
+  }
+
+  if (const JsonValue* cmd = root.Find("cmd")) {
+    request.is_admin = true;
+    for (const auto& [key, value] : root.members()) {
+      (void)value;
+      if (!IsKnownAdminField(key)) {
+        return Status::InvalidArgument("unknown admin field '" + key + "'");
+      }
+    }
+    const std::string& verb = cmd->GetString();
+    if (verb == "health") request.verb = AdminVerb::kHealth;
+    else if (verb == "metrics") request.verb = AdminVerb::kMetrics;
+    else if (verb == "stats") request.verb = AdminVerb::kStats;
+    else if (verb == "reload") request.verb = AdminVerb::kReload;
+    else if (verb == "quit") request.verb = AdminVerb::kQuit;
+    else {
+      return Status::InvalidArgument("unknown admin cmd '" + verb + "'");
+    }
+    if (const JsonValue* path = root.Find("path")) {
+      if (request.verb != AdminVerb::kReload) {
+        return Status::InvalidArgument("'path' is only valid with reload");
+      }
+      if (!path->is_string()) {
+        return Status::InvalidArgument("'path' must be a string");
+      }
+      request.reload_path = path->GetString();
+    }
+    return request;
+  }
+
+  for (const auto& [key, value] : root.members()) {
+    (void)value;
+    if (!IsKnownQueryField(key)) {
+      return Status::InvalidArgument("unknown request field '" + key + "'");
+    }
+  }
+  const JsonValue* query = root.Find("query");
+  if (query == nullptr || !query->is_string() || query->GetString().empty()) {
+    return Status::InvalidArgument(
+        "request needs a non-empty string 'query' (or an admin 'cmd')");
+  }
+  request.query = query->GetString();
+  if (const JsonValue* s = root.Find("s")) {
+    if (!s->is_int() || s->GetInt() < 0) {
+      return Status::InvalidArgument("'s' must be a non-negative integer");
+    }
+    request.options.s = static_cast<uint32_t>(s->GetInt());
+  }
+  if (const JsonValue* top = root.Find("top")) {
+    if (!top->is_int() || top->GetInt() < 0) {
+      return Status::InvalidArgument("'top' must be a non-negative integer");
+    }
+    request.options.max_results = static_cast<size_t>(top->GetInt());
+  }
+  if (const JsonValue* di = root.Find("di")) {
+    if (!di->is_int() || di->GetInt() < 0) {
+      return Status::InvalidArgument("'di' must be a non-negative integer");
+    }
+    request.options.di_top_m = static_cast<size_t>(di->GetInt());
+  }
+  if (const JsonValue* refine = root.Find("refine")) {
+    if (!refine->is_bool()) {
+      return Status::InvalidArgument("'refine' must be a boolean");
+    }
+    request.options.suggest_refinements = refine->GetBool();
+  } else {
+    request.options.suggest_refinements = false;  // opt-in, like the CLI
+  }
+  if (const JsonValue* explain = root.Find("explain")) {
+    if (!explain->is_bool()) {
+      return Status::InvalidArgument("'explain' must be a boolean");
+    }
+    request.explain = explain->GetBool();
+    // --explain-json semantics: documenting the pipeline runs all of it.
+    if (request.explain) request.options.suggest_refinements = true;
+  }
+  return request;
+}
+
+std::string WireResponseBuilder::Query(const WireRequest& request,
+                                       const SearchResponse& response,
+                                       const XmlIndex& index, uint64_t epoch,
+                                       double elapsed_ms) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  EmitId(request, &json);
+  json.Key("epoch").UInt(epoch);
+  json.Key("s").UInt(response.effective_s);
+  json.Key("merged_list_size").UInt(response.merged_list_size);
+  json.Key("candidates").UInt(response.candidate_count);
+  json.Key("lce").UInt(response.lce_count);
+  json.Key("elapsed_ms").Double(elapsed_ms);
+  json.Key("nodes").BeginArray();
+  for (const GksNode& node : response.nodes) {
+    json.BeginObject();
+    json.Key("id").String(node.id.ToString());
+    json.Key("doc").String(index.catalog.document(node.id.doc_id()).name);
+    json.Key("lce").Bool(node.is_lce);
+    json.Key("keywords").UInt(node.keyword_count);
+    json.Key("rank").Double(node.rank);
+    json.Key("describe").String(DescribeNode(index, node));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("di").BeginArray();
+  for (const DiKeyword& di : response.insights) {
+    json.BeginObject();
+    json.Key("value").String(di.value);
+    json.Key("path").BeginArray();
+    for (const std::string& step : di.path) json.String(step);
+    json.EndArray();
+    json.Key("weight").Double(di.weight);
+    json.Key("support").UInt(di.support);
+    json.EndObject();
+  }
+  json.EndArray();
+  if (!response.refinements.empty()) {
+    json.Key("refinements").BeginArray();
+    for (const RefinementSuggestion& suggestion : response.refinements) {
+      json.BeginObject();
+      json.Key("keywords").BeginArray();
+      for (const std::string& keyword : suggestion.keywords) {
+        json.String(keyword);
+      }
+      json.EndArray();
+      json.Key("rationale").String(suggestion.rationale);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+  if (request.explain) {
+    json.Key("explain").Raw(ExplainJson(response));
+  }
+  json.EndObject();
+  return json.Take();
+}
+
+std::string WireResponseBuilder::Error(const WireRequest* request,
+                                       std::string_view code,
+                                       std::string_view message) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(false);
+  if (request != nullptr) EmitId(*request, &json);
+  json.Key("error").String(code);
+  json.Key("message").String(message);
+  json.EndObject();
+  return json.Take();
+}
+
+std::string WireResponseBuilder::Admin(const WireRequest& request,
+                                       std::string_view status_word,
+                                       uint64_t epoch,
+                                       std::string_view payload_key,
+                                       std::string_view payload_json) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  EmitId(request, &json);
+  json.Key("status").String(status_word);
+  json.Key("epoch").UInt(epoch);
+  if (!payload_key.empty()) {
+    json.Key(payload_key).Raw(payload_json);
+  }
+  json.EndObject();
+  return json.Take();
+}
+
+}  // namespace gks

@@ -1,0 +1,93 @@
+#ifndef GKS_SERVER_PROTOCOL_H_
+#define GKS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json_value.h"
+#include "common/result.h"
+#include "core/searcher.h"
+
+namespace gks {
+
+/// The newline-delimited JSON wire protocol (one request object in, one
+/// response object out, per line). The full spec with examples lives in
+/// docs/SERVER.md; this header is the single in-code authority both the
+/// server and the client/load-generator build against.
+
+/// Machine-readable error codes (the `error` field of a failure
+/// response). Stable strings — clients switch on them, docs/SERVER.md
+/// documents each, and scripts/check_docs.sh cross-checks the documented
+/// list against this file.
+namespace wire_error {
+inline constexpr std::string_view kBadRequest = "bad_request";
+inline constexpr std::string_view kOversized = "oversized";
+inline constexpr std::string_view kOverloaded = "overloaded";
+inline constexpr std::string_view kDeadlineExceeded = "deadline_exceeded";
+inline constexpr std::string_view kSearchFailed = "search_failed";
+inline constexpr std::string_view kReloadFailed = "reload_failed";
+inline constexpr std::string_view kShuttingDown = "shutting_down";
+}  // namespace wire_error
+
+/// Admin verbs (`{"cmd": "..."}` requests).
+enum class AdminVerb {
+  kHealth,   // liveness + epoch + load snapshot
+  kMetrics,  // full metrics-registry snapshot (JSON form)
+  kStats,    // index-level stats: documents, terms, postings, epoch
+  kReload,   // swap in a freshly loaded index (optional "path" override)
+  kQuit,     // acknowledge, then drain and exit
+};
+
+/// A parsed request: exactly one of `is_admin` (admin verb) or a query.
+struct WireRequest {
+  // Echoed verbatim into the response when present: the client's
+  // correlation id (JSON string or integer).
+  bool has_id = false;
+  bool id_is_string = false;
+  std::string id_string;
+  int64_t id_int = 0;
+
+  bool is_admin = false;
+  AdminVerb verb = AdminVerb::kHealth;
+  std::string reload_path;  // optional "path" of a reload
+
+  std::string query;      // query text (same syntax as `gks search`)
+  SearchOptions options;  // s / top / di / refine mapped onto the engine
+  bool explain = false;   // attach the --explain-json document
+};
+
+/// Parses one request line. InvalidArgument (→ `bad_request` on the wire)
+/// on malformed JSON, unknown `cmd`, missing/empty `query`, or unknown
+/// fields (strict by design: a typo'd option should fail loudly, not
+/// silently search with defaults).
+Result<WireRequest> ParseWireRequest(std::string_view line);
+
+/// Response builders — each returns one complete JSON object WITHOUT the
+/// trailing newline (the connection layer owns framing).
+class WireResponseBuilder {
+ public:
+  /// Success envelope for a query: summary counts, epoch, ranked nodes
+  /// (id/tag description/rank/keywords), DI keywords, elapsed wall-clock,
+  /// plus the full --explain-json document under "explain" when asked.
+  static std::string Query(const WireRequest& request,
+                           const SearchResponse& response,
+                           const XmlIndex& index, uint64_t epoch,
+                           double elapsed_ms);
+
+  /// Failure envelope: {"ok":false,"error":"<code>","message":...} with
+  /// the request id echoed when known.
+  static std::string Error(const WireRequest* request, std::string_view code,
+                           std::string_view message);
+
+  /// health / stats / reload / quit acks. `payload_json` is spliced in
+  /// raw under the given key when non-empty (e.g. the metrics snapshot).
+  static std::string Admin(const WireRequest& request,
+                           std::string_view status_word, uint64_t epoch,
+                           std::string_view payload_key = {},
+                           std::string_view payload_json = {});
+};
+
+}  // namespace gks
+
+#endif  // GKS_SERVER_PROTOCOL_H_

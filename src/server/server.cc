@@ -1,0 +1,350 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/timer.h"
+#include "common/trace.h"
+#include "core/searcher.h"
+#include "server/net.h"
+
+namespace gks {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// One accepted TCP connection: its fd, the thread pumping its
+/// request/response loop, and a completion flag the accept loop reaps on.
+struct GksServer::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+GksServer::GksServer(ServerConfig config, std::string index_path)
+    : config_(std::move(config)),
+      index_state_(std::move(index_path), config_.mmap) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  requests_total_ = registry.GetCounter("gks.server.requests_total");
+  queries_total_ = registry.GetCounter("gks.server.queries_total");
+  admin_total_ = registry.GetCounter("gks.server.admin_total");
+  shed_total_ = registry.GetCounter("gks.server.shed_total");
+  deadline_exceeded_total_ =
+      registry.GetCounter("gks.server.deadline_exceeded_total");
+  errors_total_ = registry.GetCounter("gks.server.errors_total");
+  connections_total_ = registry.GetCounter("gks.server.connections_total");
+  connections_gauge_ = registry.GetGauge("gks.server.connections");
+  queue_depth_gauge_ = registry.GetGauge("gks.server.queue_depth");
+  request_latency_ =
+      registry.GetHistogram("gks.server.request.latency_ms");
+  queue_wait_ = registry.GetHistogram("gks.server.queue_wait_ms");
+}
+
+GksServer::~GksServer() {
+  if (accept_thread_.joinable()) {
+    RequestShutdown();
+    Wait();
+  }
+}
+
+Status GksServer::Start() {
+  GKS_RETURN_IF_ERROR(index_state_.Load());
+  if (config_.cache_capacity > 0) {
+    cache_ = std::make_unique<QueryResultCache>(config_.cache_capacity);
+  }
+  pool_ = std::make_unique<ThreadPool>(config_.threads);
+  if (config_.queue_depth == 0) config_.queue_depth = 1;
+  GKS_ASSIGN_OR_RETURN(listen_fd_,
+                       net::Listen(config_.host, config_.port));
+  Result<int> port = net::BoundPort(listen_fd_);
+  if (!port.ok()) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void GksServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void GksServer::AcceptLoop() {
+  while (!shutdown_requested_.load()) {
+    if (reload_requested_.exchange(false)) {
+      Result<uint64_t> epoch = index_state_.Reload();
+      if (epoch.ok()) {
+        std::fprintf(stderr, "gks-server: reloaded %s (epoch %llu)\n",
+                     index_state_.path().c_str(),
+                     (unsigned long long)*epoch);
+      } else {
+        // The old snapshot keeps serving; reload failure is not fatal.
+        std::fprintf(stderr, "gks-server: reload failed: %s\n",
+                     epoch.status().ToString().c_str());
+      }
+    }
+    Result<int> accepted = net::AcceptWithTimeout(listen_fd_, 50);
+    if (!accepted.ok()) {
+      std::fprintf(stderr, "gks-server: accept: %s\n",
+                   accepted.status().ToString().c_str());
+      break;
+    }
+    if (*accepted < 0) {
+      // Timeout tick: reap connections whose threads have finished.
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->done.load()) {
+          (*it)->thread.join();
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      continue;
+    }
+    connections_total_->Increment();
+    connections_gauge_->Add(1);
+    auto connection = std::make_unique<Connection>();
+    connection->fd = *accepted;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  draining_.store(true);
+  DrainAndCloseConnections();
+  finished_.store(true);
+}
+
+void GksServer::DrainAndCloseConnections() {
+  {
+    // In-flight queries finish; the epoch-keyed cache needs no flush.
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this] { return pending_.load() == 0; });
+  }
+  {
+    // Unblock connection threads parked in read(); they exit their loops.
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& connection : connections_) {
+      net::ShutdownFd(connection->fd);
+    }
+  }
+  std::list<std::unique_ptr<Connection>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    remaining.swap(connections_);
+  }
+  for (const auto& connection : remaining) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void GksServer::ServeConnection(Connection* connection) {
+  net::LineReader reader(connection->fd, config_.max_request_bytes);
+  std::string line;
+  while (true) {
+    Status status = reader.ReadLine(&line);
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kOutOfRange) {
+        // Oversized request: answer, then drop — the stream cannot be
+        // re-framed past an unread megabyte tail.
+        errors_total_->Increment();
+        (void)net::WriteAll(
+            connection->fd,
+            WireResponseBuilder::Error(nullptr, wire_error::kOversized,
+                                       status.message()) +
+                "\n");
+      }
+      break;
+    }
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    if (!HandleLine(connection, line)) break;
+  }
+  net::CloseFd(connection->fd);
+  connections_gauge_->Add(-1);
+  connection->done.store(true);
+}
+
+bool GksServer::HandleLine(Connection* connection, const std::string& line) {
+  requests_total_->Increment();
+  TraceCollector collector("gks");
+
+  Result<WireRequest> parsed = [&] {
+    ScopedSpan span("server.parse");
+    span.AddBytes(line.size());
+    return ParseWireRequest(line);
+  }();
+  std::string response;
+  bool keep_open = true;
+  if (!parsed.ok()) {
+    errors_total_->Increment();
+    response = WireResponseBuilder::Error(nullptr, wire_error::kBadRequest,
+                                          parsed.status().message());
+  } else if (parsed->is_admin) {
+    admin_total_->Increment();
+    response = HandleAdmin(*parsed);
+    if (parsed->verb == AdminVerb::kQuit) {
+      RequestShutdown();
+      keep_open = false;
+    }
+  } else {
+    queries_total_->Increment();
+    auto admitted = std::chrono::steady_clock::now();
+    size_t before = pending_.fetch_add(1);
+    if (before >= config_.queue_depth) {
+      pending_.fetch_sub(1);
+      shed_total_->Increment();
+      response = WireResponseBuilder::Error(
+          &*parsed, wire_error::kOverloaded,
+          "admission queue full (" + std::to_string(config_.queue_depth) +
+              " in flight); retry with backoff");
+    } else if (draining_.load()) {
+      pending_.fetch_sub(1);
+      {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+      }
+      drain_cv_.notify_all();
+      response = WireResponseBuilder::Error(&*parsed,
+                                            wire_error::kShuttingDown,
+                                            "server is draining");
+      keep_open = false;
+    } else {
+      queue_depth_gauge_->Set(static_cast<int64_t>(before + 1));
+      // Dispatch onto the pool and park until the worker answers. The
+      // waiter lives on this stack frame; the pool destructor drains, so
+      // the task always runs and always signals.
+      struct Waiter {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        std::string response;
+      } waiter;
+      pool_->Submit([this, &parsed, &waiter, admitted] {
+        std::string result = RunQuery(*parsed, admitted);
+        std::lock_guard<std::mutex> lock(waiter.mu);
+        waiter.response = std::move(result);
+        waiter.done = true;
+        // Notify under the lock: the parked thread cannot return from
+        // wait() — and destroy the stack Waiter — until we let go.
+        waiter.cv.notify_one();
+      });
+      {
+        std::unique_lock<std::mutex> lock(waiter.mu);
+        waiter.cv.wait(lock, [&waiter] { return waiter.done; });
+        response = std::move(waiter.response);
+      }
+      size_t after = pending_.fetch_sub(1) - 1;
+      queue_depth_gauge_->Set(static_cast<int64_t>(after));
+      {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+      }
+      drain_cv_.notify_all();
+      request_latency_->Observe(MsSince(admitted));
+    }
+  }
+
+  {
+    ScopedSpan span("server.respond");
+    span.AddBytes(response.size() + 1);
+    response += '\n';
+    if (!net::WriteAll(connection->fd, response).ok()) return false;
+  }
+  return keep_open;
+}
+
+std::string GksServer::RunQuery(
+    const WireRequest& request,
+    std::chrono::steady_clock::time_point admitted) {
+  double waited_ms = MsSince(admitted);
+  queue_wait_->Observe(waited_ms);
+  if (config_.deadline_ms > 0.0 && waited_ms > config_.deadline_ms) {
+    // Missed already — answering late would also delay everyone queued
+    // behind this request.
+    deadline_exceeded_total_->Increment();
+    return WireResponseBuilder::Error(
+        &request, wire_error::kDeadlineExceeded,
+        "queued " + std::to_string(waited_ms) + "ms past the " +
+            std::to_string(config_.deadline_ms) + "ms deadline");
+  }
+  TraceCollector collector("gks");
+  ScopedSpan span("server.search");
+  std::shared_ptr<const XmlIndex> snapshot = index_state_.snapshot();
+  GksSearcher searcher(snapshot.get());
+  searcher.set_cache(cache_.get());
+  WallTimer timer;
+  Result<SearchResponse> response =
+      searcher.Search(request.query, request.options);
+  if (!response.ok()) {
+    errors_total_->Increment();
+    return WireResponseBuilder::Error(&request, wire_error::kSearchFailed,
+                                      response.status().ToString());
+  }
+  span.AddItems(response->nodes.size());
+  return WireResponseBuilder::Query(request, *response, *snapshot,
+                                    snapshot->epoch, timer.ElapsedMillis());
+}
+
+std::string GksServer::HandleAdmin(const WireRequest& request) {
+  switch (request.verb) {
+    case AdminVerb::kHealth: {
+      JsonWriter load;
+      load.BeginObject();
+      load.Key("inflight").UInt(pending_.load());
+      load.Key("queue_depth").UInt(config_.queue_depth);
+      load.Key("connections").Int(connections_gauge_->value());
+      load.Key("draining").Bool(draining_.load());
+      load.EndObject();
+      return WireResponseBuilder::Admin(request, "serving",
+                                        index_state_.epoch(), "load",
+                                        load.str());
+    }
+    case AdminVerb::kMetrics:
+      return WireResponseBuilder::Admin(
+          request, "ok", index_state_.epoch(), "metrics",
+          MetricsRegistry::Global().Snapshot().ToJson());
+    case AdminVerb::kStats: {
+      std::shared_ptr<const XmlIndex> snapshot = index_state_.snapshot();
+      JsonWriter stats;
+      stats.BeginObject();
+      stats.Key("path").String(index_state_.path());
+      stats.Key("documents").UInt(snapshot->catalog.document_count());
+      stats.Key("elements").UInt(snapshot->nodes.counts().total);
+      stats.Key("terms").UInt(snapshot->inverted.term_count());
+      stats.Key("postings").UInt(snapshot->inverted.posting_count());
+      stats.EndObject();
+      return WireResponseBuilder::Admin(request, "ok", snapshot->epoch,
+                                        "index", stats.str());
+    }
+    case AdminVerb::kReload: {
+      Result<uint64_t> epoch = index_state_.Reload(request.reload_path);
+      if (!epoch.ok()) {
+        errors_total_->Increment();
+        return WireResponseBuilder::Error(&request,
+                                          wire_error::kReloadFailed,
+                                          epoch.status().ToString());
+      }
+      return WireResponseBuilder::Admin(request, "reloaded", *epoch);
+    }
+    case AdminVerb::kQuit:
+      return WireResponseBuilder::Admin(request, "draining",
+                                        index_state_.epoch());
+  }
+  return WireResponseBuilder::Error(&request, wire_error::kBadRequest,
+                                    "unhandled admin verb");
+}
+
+}  // namespace gks

@@ -1,0 +1,170 @@
+#include "common/json_value.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace gks {
+namespace {
+
+TEST(JsonValueTest, ParsesScalars) {
+  auto null = JsonValue::Parse("null");
+  ASSERT_TRUE(null.ok());
+  EXPECT_TRUE(null->is_null());
+
+  auto yes = JsonValue::Parse("true");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->is_bool());
+  EXPECT_TRUE(yes->GetBool());
+
+  auto no = JsonValue::Parse("false");
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no->GetBool(true));
+
+  auto number = JsonValue::Parse("42");
+  ASSERT_TRUE(number.ok());
+  EXPECT_TRUE(number->is_int());
+  EXPECT_EQ(number->GetInt(), 42);
+  EXPECT_DOUBLE_EQ(number->GetDouble(), 42.0);
+
+  auto negative = JsonValue::Parse("-7");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative->GetInt(), -7);
+
+  auto real = JsonValue::Parse("2.5e1");
+  ASSERT_TRUE(real.ok());
+  EXPECT_FALSE(real->is_int());
+  EXPECT_TRUE(real->is_number());
+  EXPECT_DOUBLE_EQ(real->GetDouble(), 25.0);
+  EXPECT_EQ(real->GetInt(), 25);  // lenient cross-kind read
+
+  auto text = JsonValue::Parse("\"hello\"");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->GetString(), "hello");
+}
+
+TEST(JsonValueTest, ParsesStringEscapes) {
+  auto value = JsonValue::Parse(R"("a\"b\\c\/d\n\t\r\b\f")");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(value->GetString(), "a\"b\\c/d\n\t\r\b\f");
+
+  // \uXXXX, including a surrogate pair (𝄞 U+1D11E).
+  auto unicode = JsonValue::Parse(R"("é A 𝄞")");
+  ASSERT_TRUE(unicode.ok()) << unicode.status().ToString();
+  EXPECT_EQ(unicode->GetString(), "\xc3\xa9 A \xf0\x9d\x84\x9e");
+
+  // Lone high surrogate is malformed.
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud834")").ok());
+  // Unknown escape is malformed.
+  EXPECT_FALSE(JsonValue::Parse(R"("\q")").ok());
+  // Unterminated string.
+  EXPECT_FALSE(JsonValue::Parse("\"abc").ok());
+}
+
+TEST(JsonValueTest, ParsesArraysAndObjects) {
+  auto value = JsonValue::Parse(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  ASSERT_TRUE(value->is_object());
+  const JsonValue* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->items()[1].GetInt(), 2);
+  const JsonValue* b = value->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("c"), nullptr);
+  EXPECT_TRUE(b->Find("c")->GetBool());
+  EXPECT_EQ(value->Find("missing"), nullptr);
+  EXPECT_TRUE(value->Has("a"));
+  EXPECT_FALSE(value->Has("z"));
+
+  auto empty_array = JsonValue::Parse("[]");
+  ASSERT_TRUE(empty_array.ok());
+  EXPECT_EQ(empty_array->size(), 0u);
+  auto empty_object = JsonValue::Parse("{}");
+  ASSERT_TRUE(empty_object.ok());
+  EXPECT_TRUE(empty_object->members().empty());
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  for (const char* bad : {"", "   ", "{", "[1,]", "{\"a\":}", "{\"a\" 1}",
+                          "tru", "nul", "01", "1.", "+1", "--1", "\x01",
+                          "{\"a\":1,}", "[1 2]", "{1: 2}"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << "input: " << bad;
+  }
+  // Trailing garbage after a complete value.
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} x").ok());
+  // Error messages carry a byte offset.
+  auto error = JsonValue::Parse("[1, ?]");
+  ASSERT_FALSE(error.ok());
+  EXPECT_NE(error.status().message().find("at byte"), std::string::npos)
+      << error.status().ToString();
+}
+
+TEST(JsonValueTest, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());          // default max_depth=64
+  EXPECT_TRUE(JsonValue::Parse(deep, 128).ok());      // raised limit
+  std::string shallow = "[[[1]]]";
+  EXPECT_TRUE(JsonValue::Parse(shallow).ok());
+  EXPECT_FALSE(JsonValue::Parse(shallow, 2).ok());
+}
+
+TEST(JsonValueTest, LenientAccessorsReturnDefaults) {
+  auto value = JsonValue::Parse("{\"n\": 3}");
+  ASSERT_TRUE(value.ok());
+  EXPECT_FALSE(value->GetBool());          // wrong kind → default
+  EXPECT_EQ(value->GetInt(-1), -1);        // object is not a number
+  EXPECT_EQ(value->GetString(), "");       // nor a string
+  EXPECT_EQ(value->size(), 0u);            // nor an array
+  EXPECT_TRUE(value->items().empty());
+  JsonValue null;
+  EXPECT_EQ(null.Find("x"), nullptr);
+  EXPECT_TRUE(null.members().empty());
+}
+
+TEST(JsonValueTest, IntBoundariesAndBigNumbers) {
+  auto max = JsonValue::Parse("9223372036854775807");
+  ASSERT_TRUE(max.ok());
+  EXPECT_TRUE(max->is_int());
+  EXPECT_EQ(max->GetInt(), INT64_MAX);
+  // Out of int64 range still parses — as a double.
+  auto big = JsonValue::Parse("18446744073709551616");
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(big->is_number());
+  EXPECT_FALSE(big->is_int());
+}
+
+TEST(JsonValueTest, MakeHelpers) {
+  EXPECT_TRUE(JsonValue::MakeBool(true).GetBool());
+  EXPECT_EQ(JsonValue::MakeInt(5).GetInt(), 5);
+  EXPECT_DOUBLE_EQ(JsonValue::MakeDouble(1.5).GetDouble(), 1.5);
+  EXPECT_EQ(JsonValue::MakeString("s").GetString(), "s");
+}
+
+TEST(JsonValueTest, RoundTripsWireShapedResponses) {
+  // The exact shape WireResponseBuilder emits (see docs/SERVER.md).
+  const char* line =
+      R"({"ok":true,"id":7,"epoch":2,"s":1,"merged_list_size":12,)"
+      R"("candidates":4,"lce":2,"elapsed_ms":0.42,)"
+      R"("nodes":[{"id":"1.3.2","doc":"dblp.xml","lce":2,)"
+      R"("keywords":["database","xml"],"rank":0.91}],)"
+      R"("di":[{"value":"author","path":"/dblp/article/author",)"
+      R"("weight":0.5,"support":3}]})";
+  auto value = JsonValue::Parse(line);
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_TRUE(value->Find("ok")->GetBool());
+  EXPECT_EQ(value->Find("epoch")->GetInt(), 2);
+  ASSERT_EQ(value->Find("nodes")->size(), 1u);
+  const JsonValue& node = value->Find("nodes")->items()[0];
+  EXPECT_EQ(node.Find("id")->GetString(), "1.3.2");
+  EXPECT_EQ(node.Find("keywords")->size(), 2u);
+  EXPECT_DOUBLE_EQ(node.Find("rank")->GetDouble(), 0.91);
+}
+
+}  // namespace
+}  // namespace gks

@@ -13,6 +13,11 @@
 //   gks schema <index.gksidx>                      DataGuide-style dump
 //   gks stats  <index.gksidx> [--metrics] [--metrics-json]
 //   gks generate <dataset> <out.xml> [--scale=F]   synthetic corpora
+//   gks serve  <index.gksidx> [--port=N] ...       long-running query server
+//   gks client [--port=N] ...                      query/admin/load client
+//
+// The server speaks the newline-delimited JSON protocol of
+// docs/SERVER.md (hot reload, admission control, graceful drain).
 //
 // Every index-reading command accepts --mmap to open the file through
 // LoadIndexMapped (zero-copy, lazy v2 sections) instead of the eager
@@ -48,6 +53,7 @@
 #include "index/parallel_build.h"
 #include "index/serialization.h"
 #include "schema/schema_summary.h"
+#include "server/command.h"
 #include "xml/sax_parser.h"
 #include "xml/writer.h"
 
@@ -71,6 +77,12 @@ int Usage() {
       "             [--agg=TAG] [--hist=TAG:BUCKETS]\n"
       "  gks schema <index.gksidx>\n"
       "  gks stats  <index.gksidx> [--metrics] [--metrics-json]\n"
+      "  gks serve  <index.gksidx> [--port=N] [--host=H] [--threads=N]\n"
+      "             [--queue=N] [--deadline-ms=D] [--cache=CAP]\n"
+      "             [--max-request-bytes=N]\n"
+      "  gks client [--host=H] [--port=N] (--admin=VERB [--path=P] |\n"
+      "             --query=Q | --queries=FILE [--connections=C]\n"
+      "             [--requests=N]) [--s=N] [--top=N]\n"
       "  (reader commands accept --mmap for the zero-copy lazy loader)\n"
       "  gks generate <dblp|sigmod|mondial|swissprot|interpro|protein|nasa|"
       "treebank> <out.xml> [--scale=F]\n");
@@ -486,6 +498,8 @@ int Run(int argc, char** argv) {
   if (command == "schema") return CmdSchema(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "generate") return CmdGenerate(flags);
+  if (command == "serve") return RunServeCommand(flags);
+  if (command == "client") return RunClientCommand(flags);
   return Usage();
 }
 

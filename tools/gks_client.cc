@@ -1,0 +1,18 @@
+// Standalone load-generator / admin client for the GKS query server —
+// the same engine as `gks client`, packaged as its own small binary so
+// benches and the ctest smoke script (scripts/check_server.sh) can drive
+// a server without dragging in the full `gks` tool.
+//
+//   gks_client --port=N --queries=queries.txt --connections=8 --requests=200
+//   gks_client --port=N --query='"Peter Buneman"' --s=1 --top=5
+//   gks_client --port=N --admin=health|metrics|stats|reload|quit
+//
+// Wire protocol and error codes: docs/SERVER.md.
+
+#include "common/flags.h"
+#include "server/command.h"
+
+int main(int argc, char** argv) {
+  gks::FlagParser flags(argc, argv);
+  return gks::RunClientCommand(flags);
+}
