@@ -1,0 +1,219 @@
+// Planner skew sweep: wall-clock of merge vs probe vs auto as the
+// keyword-frequency skew between the rarest and the largest query term
+// grows. The corpus is synthetic with *exactly* controlled frequencies:
+// `alpha` and `beta` occur in every record (the uniform pair), and one
+// `needleR` term occurs in every R-th record, so the skew ratio of the
+// query "alpha needleR" is exactly R. The planner's contract, measured:
+//
+//   - skewed queries (rarest <= 1% of largest): auto >= 5x faster than
+//     forced merge, identical results;
+//   - uniform queries: auto within 1.05x of merge (it *is* merge plus a
+//     stats inspection).
+//
+// Prints one table plus a trailing `BENCH_JSON {...}` line that the
+// BENCH_pr5.json record is transcribed from.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json_writer.h"
+
+namespace {
+
+using gks::bench::Scaled;
+
+const std::vector<size_t>& SkewRatios() {
+  static const std::vector<size_t>* ratios =
+      new std::vector<size_t>{4, 16, 64, 256, 1024};
+  return *ratios;
+}
+
+// One <rec> per record; every record holds the two uniform terms plus a
+// rotating filler token (so the vocabulary is not degenerate), and record
+// i additionally holds needleR for every sweep ratio R dividing i.
+gks::bench::Corpus MakePlannerCorpus(size_t records) {
+  std::string xml;
+  xml.reserve(records * 96);
+  xml += "<corpus>";
+  char buffer[160];
+  for (size_t i = 0; i < records; ++i) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "<rec><title>alpha beta filler%zu</title>", i % 97);
+    xml += buffer;
+    for (size_t ratio : SkewRatios()) {
+      if (i % ratio == 0) {
+        std::snprintf(buffer, sizeof(buffer), "<tag>needle%zu</tag>", ratio);
+        xml += buffer;
+      }
+    }
+    xml += "</rec>";
+  }
+  xml += "</corpus>";
+  return {"planner-skew", {{"skew.xml", std::move(xml)}}};
+}
+
+struct Timed {
+  double ms = 0.0;
+  gks::SearchResponse response;
+};
+
+// Times all three plans over one query with interleaved repeats (plan A,
+// B, C, A, B, C, ...) so slow drift in machine state — page cache, turbo,
+// a noisy neighbor — cannot systematically favor whichever plan is timed
+// last. Best-of per plan. `out[i]` matches `plans[i]`.
+void TimeQuery(const gks::XmlIndex& index, const std::string& text,
+               const std::vector<gks::PlanMode>& plans, Timed* out,
+               int repeats = 5) {
+  gks::GksSearcher searcher(&index);
+  gks::SearchOptions options;
+  options.s = 2;
+  options.discover_di = false;
+  options.suggest_refinements = false;
+  for (size_t p = 0; p < plans.size(); ++p) {
+    out[p].ms = 1e99;
+    // One untimed warmup per plan levels first-touch effects (arena
+    // growth, page cache) before any measurement starts.
+    options.plan = plans[p];
+    (void)searcher.Search(text, options);
+  }
+  for (int i = 0; i < repeats; ++i) {
+    for (size_t p = 0; p < plans.size(); ++p) {
+      options.plan = plans[p];
+      gks::WallTimer timer;
+      gks::Result<gks::SearchResponse> response =
+          searcher.Search(text, options);
+      if (!response.ok()) {
+        std::fprintf(stderr, "FATAL query '%s': %s\n", text.c_str(),
+                     response.status().ToString().c_str());
+        std::exit(1);
+      }
+      out[p].ms = std::min(out[p].ms, timer.ElapsedMillis());
+      out[p].response = std::move(response).value();
+    }
+  }
+}
+
+// Byte-identical responses are the planner's invariant; a bench that
+// publishes speedups must refuse to publish wrong answers.
+void CheckIdentical(const gks::SearchResponse& a, const gks::SearchResponse& b,
+                    const char* label) {
+  bool same = a.nodes.size() == b.nodes.size() &&
+              a.merged_list_size == b.merged_list_size;
+  for (size_t i = 0; same && i < a.nodes.size(); ++i) {
+    same = a.nodes[i].id == b.nodes[i].id &&
+           a.nodes[i].rank == b.nodes[i].rank &&
+           a.nodes[i].keyword_mask == b.nodes[i].keyword_mask;
+  }
+  if (!same) {
+    std::fprintf(stderr, "FATAL %s: plans disagree on the result list\n",
+                 label);
+    std::exit(1);
+  }
+}
+
+struct Row {
+  size_t ratio;           // largest/rarest frequency ratio (1 = uniform)
+  size_t largest;         // postings in the biggest list
+  size_t rarest;          // postings in the anchor list
+  double merge_ms;
+  double probe_ms;
+  double auto_ms;
+  std::string auto_plan;  // what the planner picked
+  size_t results;
+};
+
+}  // namespace
+
+int main() {
+  const size_t records = Scaled(200000);
+  std::printf("Planner skew sweep (scale=%.2f, %zu records)\n",
+              gks::bench::Scale(), records);
+
+  gks::bench::Corpus corpus = MakePlannerCorpus(records);
+  double build_seconds = 0.0;
+  gks::XmlIndex index = gks::bench::BuildIndex(corpus, &build_seconds);
+  std::printf("index: %.1fMB XML, built in %.2fs\n",
+              static_cast<double>(corpus.TotalBytes()) / 1e6, build_seconds);
+
+  std::printf("\n%8s | %9s | %8s | %9s | %9s | %9s | %7s | %-6s\n", "skew",
+              "largest", "rarest", "merge ms", "probe ms", "auto ms",
+              "speedup", "auto");
+  std::vector<Row> rows;
+  auto run_case = [&](size_t ratio, const std::string& text) {
+    gks::bench::MetricsDeltaScope metrics_scope("planner:" + text);
+    Timed timed[3];
+    TimeQuery(index, text,
+              {gks::PlanMode::kMerge, gks::PlanMode::kProbe,
+               gks::PlanMode::kAuto},
+              timed);
+    Timed& merge = timed[0];
+    Timed& probe = timed[1];
+    Timed& autop = timed[2];
+    CheckIdentical(merge.response, probe.response, text.c_str());
+    CheckIdentical(merge.response, autop.response, text.c_str());
+    Row row;
+    row.ratio = ratio;
+    row.largest = 0;
+    row.rarest = SIZE_MAX;
+    for (const gks::PlanAtomStats& stats : autop.response.plan.atoms) {
+      row.largest = std::max(row.largest, stats.postings);
+      row.rarest = std::min(row.rarest, stats.postings);
+    }
+    row.merge_ms = merge.ms;
+    row.probe_ms = probe.ms;
+    row.auto_ms = autop.ms;
+    row.auto_plan = gks::PlanModeName(autop.response.plan.strategy);
+    row.results = autop.response.nodes.size();
+    rows.push_back(row);
+    std::printf("%8zu | %9zu | %8zu | %9.3f | %9.3f | %9.3f | %6.2fx | %-6s\n",
+                row.ratio, row.largest, row.rarest, row.merge_ms, row.probe_ms,
+                row.auto_ms, row.merge_ms / row.auto_ms,
+                row.auto_plan.c_str());
+  };
+
+  run_case(1, "alpha beta");  // uniform: auto must degrade to merge
+  for (size_t ratio : SkewRatios()) {
+    run_case(ratio, "alpha needle" + std::to_string(ratio));
+  }
+
+  // Acceptance framing, evaluated right here so the table cannot drift
+  // from the claim: >= 5x at <= 1% skew, <= 1.05x on uniform.
+  double uniform_ratio = rows.front().auto_ms / rows.front().merge_ms;
+  double best_skew_speedup = 0.0;
+  for (const Row& row : rows) {
+    if (row.rarest * 100 <= row.largest) {
+      best_skew_speedup =
+          std::max(best_skew_speedup, row.merge_ms / row.auto_ms);
+    }
+  }
+  std::printf("\nuniform auto/merge = %.3fx (want <= 1.05x)\n", uniform_ratio);
+  std::printf("best speedup at skew >= 100x = %.1fx (want >= 5x)\n",
+              best_skew_speedup);
+
+  gks::JsonWriter json;
+  json.BeginObject();
+  json.Key("records").UInt(records);
+  json.Key("build_seconds").Double(build_seconds, 2);
+  json.Key("uniform_auto_over_merge").Double(uniform_ratio, 3);
+  json.Key("best_skew_speedup").Double(best_skew_speedup, 1);
+  json.Key("rows").BeginArray();
+  for (const Row& row : rows) {
+    json.BeginObject();
+    json.Key("skew").UInt(row.ratio);
+    json.Key("largest").UInt(row.largest);
+    json.Key("rarest").UInt(row.rarest);
+    json.Key("merge_ms").Double(row.merge_ms, 3);
+    json.Key("probe_ms").Double(row.probe_ms, 3);
+    json.Key("auto_ms").Double(row.auto_ms, 3);
+    json.Key("auto_plan").String(row.auto_plan);
+    json.Key("results").UInt(row.results);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::printf("\nBENCH_JSON %s\n", json.str().c_str());
+  return 0;
+}

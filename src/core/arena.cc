@@ -1,0 +1,72 @@
+#include "core/arena.h"
+
+#include "common/metrics.h"
+
+namespace gks {
+namespace {
+
+struct ArenaMetrics {
+  Counter* reuses;
+  Gauge* pooled_bytes;
+
+  static const ArenaMetrics& Get() {
+    static const ArenaMetrics metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return ArenaMetrics{r.GetCounter("gks.search.arena.reuses_total"),
+                          r.GetGauge("gks.search.arena.pooled_bytes")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+QueryArena& QueryArena::ThreadLocal() {
+  static thread_local QueryArena arena;
+  return arena;
+}
+
+PackedIds QueryArena::TakeIds() {
+  if (ids_.empty()) return PackedIds();
+  PackedIds out = std::move(ids_.back());
+  ids_.pop_back();
+  ArenaMetrics::Get().reuses->Increment();
+  ArenaMetrics::Get().pooled_bytes->Add(
+      -static_cast<int64_t>(out.MemoryUsage()));
+  return out;
+}
+
+void QueryArena::PutIds(PackedIds&& ids) {
+  ids.Clear();
+  ArenaMetrics::Get().pooled_bytes->Add(
+      static_cast<int64_t>(ids.MemoryUsage()));
+  ids_.push_back(std::move(ids));
+}
+
+std::vector<uint32_t> QueryArena::TakeU32() {
+  if (u32_.empty()) return {};
+  std::vector<uint32_t> out = std::move(u32_.back());
+  u32_.pop_back();
+  ArenaMetrics::Get().reuses->Increment();
+  ArenaMetrics::Get().pooled_bytes->Add(
+      -static_cast<int64_t>(out.capacity() * sizeof(uint32_t)));
+  return out;
+}
+
+void QueryArena::PutU32(std::vector<uint32_t>&& v) {
+  v.clear();
+  ArenaMetrics::Get().pooled_bytes->Add(
+      static_cast<int64_t>(v.capacity() * sizeof(uint32_t)));
+  u32_.push_back(std::move(v));
+}
+
+size_t QueryArena::PooledBytes() const {
+  size_t bytes = 0;
+  for (const PackedIds& ids : ids_) bytes += ids.MemoryUsage();
+  for (const std::vector<uint32_t>& v : u32_) {
+    bytes += v.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace gks

@@ -1,0 +1,57 @@
+#ifndef GKS_CORE_ARENA_H_
+#define GKS_CORE_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/posting_list.h"
+
+namespace gks {
+
+/// Reusable per-query scratch storage. Every search allocates the same
+/// shapes over and over — per-atom occurrence lists, the merged-list id
+/// and atom arrays, probe gather buffers — and on a server worker those
+/// allocations are the residual visible in `Timings.total_ms` beyond the
+/// stage spans. A QueryArena keeps the freed buffers (capacity intact)
+/// and hands them back on the next query.
+///
+/// One arena per worker thread (`ThreadLocal()`), so no locking: the
+/// searcher and the probe evaluator take buffers at query start and put
+/// them back when the query's pipeline no longer reads them. A buffer
+/// that is never returned is simply re-allocated next time — the pool is
+/// an optimization, not an ownership contract.
+///
+/// Instruments (docs/OBSERVABILITY.md): `gks.search.arena.reuses_total`
+/// counts takes served from the pool instead of fresh allocations;
+/// `gks.search.arena.pooled_bytes` gauges the bytes currently parked.
+class QueryArena {
+ public:
+  QueryArena() = default;
+  QueryArena(const QueryArena&) = delete;
+  QueryArena& operator=(const QueryArena&) = delete;
+
+  /// The calling thread's arena (created on first use, lives for the
+  /// thread — exactly the "pooled per server worker" shape, since the
+  /// server pins each query to one ThreadPool worker).
+  static QueryArena& ThreadLocal();
+
+  /// A cleared PackedIds, with whatever capacity its previous life left.
+  PackedIds TakeIds();
+  /// Returns a buffer to the pool (cleared here; capacity kept).
+  void PutIds(PackedIds&& ids);
+
+  /// Same protocol for raw uint32 arrays (merged-list atom tags etc.).
+  std::vector<uint32_t> TakeU32();
+  void PutU32(std::vector<uint32_t>&& v);
+
+  /// Bytes parked in the pool right now.
+  size_t PooledBytes() const;
+
+ private:
+  std::vector<PackedIds> ids_;
+  std::vector<std::vector<uint32_t>> u32_;
+};
+
+}  // namespace gks
+
+#endif  // GKS_CORE_ARENA_H_

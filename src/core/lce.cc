@@ -16,8 +16,9 @@ ComponentVec ToComponents(DeweySpan span) {
   return ComponentVec(span.data, span.data + span.size);
 }
 
-// Deepest self-or-ancestor entity node of `id`; empty optional if none.
-bool LowestEntity(const XmlIndex& index, DeweySpan id, ComponentVec* out) {
+}  // namespace
+
+bool LowestEntityOf(const XmlIndex& index, DeweySpan id, ComponentVec* out) {
   for (uint32_t len = id.size; len >= 1; --len) {
     DeweySpan prefix{id.data, len};
     const NodeInfo* info = index.nodes.Find(prefix);
@@ -28,8 +29,6 @@ bool LowestEntity(const XmlIndex& index, DeweySpan id, ComponentVec* out) {
   }
   return false;
 }
-
-}  // namespace
 
 std::vector<GksNode> ComputeGksNodes(const XmlIndex& index,
                                      const MergedList& sl,
@@ -42,13 +41,18 @@ std::vector<GksNode> ComputeGksNodes(const XmlIndex& index,
     span.AddItems(pruned.size());
     return pruned;
   }();
+  return ComputeGksNodesPruned(index, sl, lcps);
+}
 
+std::vector<GksNode> ComputeGksNodesPruned(
+    const XmlIndex& index, const MergedList& sl,
+    const std::vector<LcpCandidate>& lcps) {
   // Entities with an independent witness: the lowest entity ancestor of at
   // least one occurrence in S_L (Def. 2.2.1 restricted to query keywords).
   std::set<ComponentVec> witnessed;
   for (size_t i = 0; i < sl.size(); ++i) {
     ComponentVec entity;
-    if (LowestEntity(index, sl.IdAt(i), &entity)) {
+    if (LowestEntityOf(index, sl.IdAt(i), &entity)) {
       witnessed.insert(std::move(entity));
     }
   }
@@ -73,7 +77,7 @@ std::vector<GksNode> ComputeGksNodes(const XmlIndex& index,
     }
 
     ComponentVec entity;
-    bool has_entity = LowestEntity(index, span, &entity);
+    bool has_entity = LowestEntityOf(index, span, &entity);
     if (has_entity && witnessed.count(entity) > 0) {
       Agg& agg = nodes[entity];
       agg.is_lce = true;

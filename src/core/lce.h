@@ -42,6 +42,23 @@ std::vector<GksNode> ComputeGksNodes(const XmlIndex& index,
                                      const MergedList& sl,
                                      const std::vector<LcpCandidate>& lcps);
 
+/// The post-prune body of ComputeGksNodes: `lcps` must already be pruned
+/// (step "SLCA-style minimality"). The anchor-probe path prunes with
+/// exact seek-computed masks before materializing its reduced merged
+/// list, then enters here; `sl` only needs to cover the subtrees of the
+/// surviving candidates' response nodes for masks/witnesses/ranks to be
+/// exact (see probe_eval.h).
+std::vector<GksNode> ComputeGksNodesPruned(
+    const XmlIndex& index, const MergedList& sl,
+    const std::vector<LcpCandidate>& lcps);
+
+/// Deepest self-or-ancestor entity node of `id` (the LCE mapping step),
+/// written into `*out` as components. False if no entity ancestor exists.
+/// Exposed so the probe evaluator derives coverage prefixes from the
+/// exact mapping the LCE stage will apply.
+bool LowestEntityOf(const XmlIndex& index, DeweySpan id,
+                    std::vector<uint32_t>* out);
+
 }  // namespace gks
 
 #endif  // GKS_CORE_LCE_H_

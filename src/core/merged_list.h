@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/query.h"
 #include "index/posting_list.h"
 #include "index/xml_index.h"
@@ -22,6 +23,11 @@ namespace gks {
 /// tag constraint. Shared by the merged-list builder and the ILE baseline.
 PackedIds AtomOccurrences(const XmlIndex& index, const QueryAtom& atom);
 
+/// Same, appending into a caller-provided (cleared) buffer so arena
+/// scratch can be reused across queries.
+void AtomOccurrencesInto(const XmlIndex& index, const QueryAtom& atom,
+                         PackedIds* out);
+
 class MergedList {
  public:
   /// Builds S_L for `query` against `index` with a cursor-based k-way
@@ -31,7 +37,21 @@ class MergedList {
   /// the lists are skewed and runs are long (see docs/PERFORMANCE.md).
   /// Output order is deterministic: document order, ties between atoms
   /// broken by ascending atom index.
-  static MergedList Build(const XmlIndex& index, const Query& query);
+  ///
+  /// When `arena` is non-null, per-atom scratch and the output arrays
+  /// draw on (and return to) the arena; call ReleaseTo when done with
+  /// the list to recycle its storage. Behavior is otherwise identical.
+  static MergedList Build(const XmlIndex& index, const Query& query,
+                          QueryArena* arena = nullptr);
+
+  /// Assembles a merged list directly from per-atom occurrence lists
+  /// (entry order: document order, atom-index tie-break — identical to
+  /// Build over the same lists). The anchor-probe evaluator uses this to
+  /// merge each atom's *coverage subset*; `atom_list_sizes` then carries
+  /// the full per-atom sizes so diagnostics stay meaningful.
+  static MergedList FromParts(const std::vector<const PackedIds*>& lists,
+                              const std::vector<size_t>& atom_list_sizes,
+                              QueryArena* arena = nullptr);
 
   size_t size() const { return ids_.size(); }
   bool empty() const { return ids_.empty(); }
@@ -56,6 +76,10 @@ class MergedList {
   const std::vector<size_t>& atom_list_sizes() const {
     return atom_list_sizes_;
   }
+
+  /// Hands the backing arrays to `arena` for the next query; the list
+  /// reads as empty afterwards.
+  void ReleaseTo(QueryArena* arena);
 
  private:
   PackedIds ids_;

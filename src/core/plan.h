@@ -1,0 +1,60 @@
+#ifndef GKS_CORE_PLAN_H_
+#define GKS_CORE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gks {
+
+/// Execution strategy for one query. `kAuto` lets the planner pick from
+/// per-term posting-list statistics; the other three force a strategy
+/// (CLI `--plan=`, wire field "plan"). After planning, the chosen
+/// strategy is never kAuto.
+enum class PlanMode : uint8_t {
+  kAuto = 0,
+  kMerge,   // full k-way merge of every posting list (PR 2 kernel)
+  kProbe,   // anchor-probe: seek-driven, decodes only touched blocks
+  kHybrid,  // probe, but small non-anchor lists are materialized eagerly
+};
+
+/// Canonical lowercase name ("auto", "merge", "probe", "hybrid").
+const char* PlanModeName(PlanMode mode);
+
+/// Parses a plan name (as accepted by --plan / the wire "plan" field).
+/// Returns false on anything else; `*out` is untouched then.
+bool ParsePlanMode(std::string_view text, PlanMode* out);
+
+/// Per-atom posting-list statistics the planner decided from (and the
+/// per-atom facts --explain-json reports).
+struct PlanAtomStats {
+  std::string keyword;    // the atom as typed (quotes removed)
+  uint64_t postings = 0;  // document frequency |S_i|
+  uint64_t blocks = 0;    // encoded v2 blocks (0 = eager storage)
+  uint32_t doc_span = 0;  // documents between first and last posting
+  bool anchor = false;    // selected into the probe anchor set
+  bool estimated = false; // phrase/tag atom: `postings` is the raw bound
+};
+
+/// The chosen plan plus everything needed to explain it: heuristic
+/// inputs, the decision, and (after execution) probe-side work counters.
+struct PlanInfo {
+  PlanMode requested = PlanMode::kAuto;  // what the caller asked for
+  PlanMode strategy = PlanMode::kMerge;  // what actually ran
+  std::string reason;                    // one-line heuristic explanation
+
+  uint64_t largest_postings = 0;  // max |S_i| over the atoms
+  uint64_t anchor_postings = 0;   // summed sizes of the anchor set
+  double skew = 0.0;              // largest / max(1, anchor_postings)
+
+  // Filled by the probe evaluator after execution (0 on merge).
+  uint64_t probe_events = 0;       // window end events evaluated
+  uint64_t gathered_postings = 0;  // reduced-S_L entries materialized
+
+  std::vector<PlanAtomStats> atoms;
+};
+
+}  // namespace gks
+
+#endif  // GKS_CORE_PLAN_H_

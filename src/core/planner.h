@@ -1,0 +1,43 @@
+#ifndef GKS_CORE_PLANNER_H_
+#define GKS_CORE_PLANNER_H_
+
+#include <cstdint>
+
+#include "core/plan.h"
+#include "core/probe_eval.h"
+#include "core/query.h"
+#include "index/xml_index.h"
+
+namespace gks {
+
+/// The planner's output: the decision (with the statistics it was made
+/// from, for --explain) plus the probe evaluator's tuning when the
+/// strategy is probe/hybrid.
+struct PlannerDecision {
+  PlanInfo info;
+  ProbeOptions probe;
+};
+
+/// Inspects per-term posting-list statistics (document frequency, encoded
+/// block count, document span — all O(1) reads off list headers and skip
+/// tables, no payload decode) and picks an execution strategy:
+///
+///   merge  — near-uniform list sizes, or too little data for seek
+///            overhead to pay off: the PR 2 k-way merge kernel.
+///   probe  — skewed sizes: anchor-probe evaluation driven by the
+///            n-s+1 smallest lists, decoding only the blocks that window
+///            end events and response subtrees touch.
+///   hybrid — probe, with non-anchor lists below the materialization
+///            threshold decoded eagerly (cheaper than seeking them
+///            hundreds of times).
+///
+/// `requested` != kAuto forces the strategy (every strategy is exact for
+/// any s/n, so forcing is always safe — just possibly slower). The
+/// heuristic thresholds and measured crossover points are documented in
+/// docs/PERFORMANCE.md. `effective_s` is the already-clamped threshold.
+PlannerDecision ChoosePlan(const XmlIndex& index, const Query& query,
+                           uint32_t effective_s, PlanMode requested);
+
+}  // namespace gks
+
+#endif  // GKS_CORE_PLANNER_H_

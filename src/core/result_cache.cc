@@ -43,6 +43,9 @@ std::string QueryResultCache::MakeKey(const std::string& normalized_query,
   AppendField(&key, options.di_top_m);
   AppendField(&key, options.discover_di ? 1 : 0);
   AppendField(&key, options.suggest_refinements ? 1 : 0);
+  // Every plan returns identical nodes, but the recorded PlanInfo/trace
+  // differ — a forced-plan explain must not surface another plan's entry.
+  AppendField(&key, static_cast<uint64_t>(options.plan));
   AppendField(&key, epoch);
   return key;
 }

@@ -10,7 +10,10 @@
 #include "common/timer.h"
 #include "common/trace.h"
 
+#include "core/arena.h"
 #include "core/merged_list.h"
+#include "core/planner.h"
+#include "core/probe_eval.h"
 #include "core/result_cache.h"
 #include "core/window_scan.h"
 
@@ -63,26 +66,101 @@ Result<SearchResponse> GksSearcher::SearchTraced(
   s = std::min<uint32_t>(s, static_cast<uint32_t>(query.size()));
   response.effective_s = s;
 
-  MergedList sl = [&] {
-    ScopedSpan span("merged_list");
-    MergedList merged = MergedList::Build(*index_, query);
-    span.AddItems(merged.size());
-    return merged;
-  }();
-  response.merged_list_size = sl.size();
+  // The arena is per worker thread: scratch buffers (atom lists, merged
+  // list storage, gather buffers) cycle through it across queries instead
+  // of hitting the allocator each time.
+  QueryArena& arena = QueryArena::ThreadLocal();
+  PlannerDecision decision = ChoosePlan(*index_, query, s, options.plan);
+  response.plan = std::move(decision.info);
 
-  std::vector<LcpCandidate> candidates = [&] {
-    ScopedSpan span("window_scan");
-    std::vector<LcpCandidate> lcps = ComputeLcpCandidates(sl, s);
-    span.AddItems(lcps.size());
-    return lcps;
-  }();
-  response.candidate_count = candidates.size();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // Zero-length marker span: the chosen strategy stays visible in every
+  // recorded span tree, not just in explain output.
+  switch (response.plan.strategy) {
+    case PlanMode::kMerge: {
+      ScopedSpan marker("plan.merge");
+      registry.GetCounter("gks.search.plan.merge_total")->Increment();
+      break;
+    }
+    case PlanMode::kProbe: {
+      ScopedSpan marker("plan.probe");
+      registry.GetCounter("gks.search.plan.probe_total")->Increment();
+      break;
+    }
+    case PlanMode::kHybrid: {
+      ScopedSpan marker("plan.hybrid");
+      registry.GetCounter("gks.search.plan.hybrid_total")->Increment();
+      break;
+    }
+    case PlanMode::kAuto:
+      break;  // unreachable: the planner always resolves kAuto
+  }
 
-  {
-    ScopedSpan span("lce");
-    response.nodes = ComputeGksNodes(*index_, sl, candidates);
-    span.AddItems(response.nodes.size());
+  if (response.plan.strategy == PlanMode::kMerge) {
+    MergedList sl = [&] {
+      ScopedSpan span("merged_list");
+      MergedList merged = MergedList::Build(*index_, query, &arena);
+      span.AddItems(merged.size());
+      return merged;
+    }();
+    response.merged_list_size = sl.size();
+
+    std::vector<LcpCandidate> candidates = [&] {
+      ScopedSpan span("window_scan");
+      std::vector<LcpCandidate> lcps = ComputeLcpCandidates(sl, s);
+      span.AddItems(lcps.size());
+      return lcps;
+    }();
+    response.candidate_count = candidates.size();
+
+    {
+      ScopedSpan span("lce");
+      response.nodes = ComputeGksNodes(*index_, sl, candidates);
+      span.AddItems(response.nodes.size());
+    }
+    sl.ReleaseTo(&arena);
+  } else {
+    ProbeEvaluator eval(*index_, query, s, decision.probe, &arena);
+    {
+      ScopedSpan span("merged_list");
+      eval.PrepareLists();
+      span.AddItems(eval.anchor_postings());
+    }
+    // Patch the plan report with the evaluator's exact view: the planner
+    // estimated phrase/tag atom sizes from token-list upper bounds, so the
+    // anchor set may shift once exact sizes are known.
+    response.plan.anchor_postings = eval.anchor_postings();
+    for (PlanAtomStats& stats : response.plan.atoms) stats.anchor = false;
+    for (uint32_t atom : eval.anchors()) {
+      response.plan.atoms[atom].anchor = true;
+    }
+
+    {
+      ScopedSpan span("window_scan");
+      eval.RunVirtualScan();
+      span.AddItems(eval.candidates().size());
+    }
+    response.merged_list_size = eval.merged_size();
+    response.candidate_count = eval.candidates().size();
+    response.plan.probe_events = eval.events();
+
+    {
+      ScopedSpan lce_span("lce");
+      {
+        ScopedSpan span("prune");
+        eval.PruneCandidates();
+        span.AddItems(eval.pruned().size());
+      }
+      {
+        ScopedSpan span("probe.gather");
+        eval.GatherReduced();
+        span.AddItems(eval.reduced().size());
+      }
+      response.plan.gathered_postings = eval.reduced().size();
+      response.nodes =
+          ComputeGksNodesPruned(*index_, eval.reduced(), eval.pruned());
+      lce_span.AddItems(response.nodes.size());
+    }
   }
   for (const GksNode& node : response.nodes) {
     if (node.is_lce) ++response.lce_count;
@@ -185,18 +263,20 @@ std::vector<Result<SearchResponse>> GksSearcher::SearchBatch(
 }
 
 std::string FormatSearchDiagnostics(const SearchResponse& response) {
-  char buf[640];
+  char buf[896];
   const SearchResponse::Timings& t = response.timings;
   std::snprintf(
       buf, sizeof(buf),
+      "plan=%s (%s)\n"
       "s=%u  |S_L|=%zu  candidates=%zu  nodes=%zu (LCE %zu)\n"
       "parse %.3fms | merge %.3fms | windows %.3fms | lce+rank %.3fms | "
       "di %.3fms | refine %.3fms\n"
       "stages %.3fms + other %.3fms = total %.3fms",
+      PlanModeName(response.plan.strategy), response.plan.reason.c_str(),
       response.effective_s, response.merged_list_size,
       response.candidate_count, response.nodes.size(), response.lce_count,
       t.parse_ms, t.merge_ms, t.window_ms, t.lce_ms, t.di_ms, t.refine_ms,
-      t.StageSumMs(), t.ResidualMs(), t.total_ms);
+      t.StageSumMs(), t.OtherMs(), t.total_ms);
   return buf;
 }
 
@@ -209,6 +289,29 @@ std::string ExplainJson(const SearchResponse& response) {
   json.Key("candidates").UInt(response.candidate_count);
   json.Key("nodes").UInt(response.nodes.size());
   json.Key("lce").UInt(response.lce_count);
+  const PlanInfo& plan = response.plan;
+  json.Key("plan").BeginObject();
+  json.Key("strategy").String(PlanModeName(plan.strategy));
+  json.Key("requested").String(PlanModeName(plan.requested));
+  json.Key("reason").String(plan.reason);
+  json.Key("largest_postings").UInt(plan.largest_postings);
+  json.Key("anchor_postings").UInt(plan.anchor_postings);
+  json.Key("skew").Double(plan.skew, 2);
+  json.Key("probe_events").UInt(plan.probe_events);
+  json.Key("gathered_postings").UInt(plan.gathered_postings);
+  json.Key("atoms").BeginArray();
+  for (const PlanAtomStats& atom : plan.atoms) {
+    json.BeginObject();
+    json.Key("keyword").String(atom.keyword);
+    json.Key("postings").UInt(atom.postings);
+    json.Key("blocks").UInt(atom.blocks);
+    json.Key("doc_span").UInt(atom.doc_span);
+    json.Key("anchor").Bool(atom.anchor);
+    json.Key("estimated").Bool(atom.estimated);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
   json.Key("timings").BeginObject();
   json.Key("parse_ms").Double(t.parse_ms);
   json.Key("merge_ms").Double(t.merge_ms);
@@ -217,7 +320,7 @@ std::string ExplainJson(const SearchResponse& response) {
   json.Key("di_ms").Double(t.di_ms);
   json.Key("refine_ms").Double(t.refine_ms);
   json.Key("stage_sum_ms").Double(t.StageSumMs());
-  json.Key("residual_ms").Double(t.ResidualMs());
+  json.Key("other_ms").Double(t.OtherMs());
   json.Key("total_ms").Double(t.total_ms);
   json.EndObject();
   json.Key("spans").Raw(response.trace.ToJson());

@@ -10,6 +10,7 @@
 #include "common/trace.h"
 #include "core/di.h"
 #include "core/lce.h"
+#include "core/plan.h"
 #include "core/query.h"
 #include "core/refinement.h"
 #include "index/xml_index.h"
@@ -32,6 +33,11 @@ struct SearchOptions {
   bool discover_di = true;
   /// Skip refinement suggestions.
   bool suggest_refinements = true;
+  /// Execution-strategy override. kAuto lets the planner pick between the
+  /// k-way merge kernel and the anchor-probe evaluator from posting-list
+  /// statistics; forcing a strategy is always exact, just possibly slower
+  /// (docs/PERFORMANCE.md).
+  PlanMode plan = PlanMode::kAuto;
 };
 
 /// A GKS response: ranked nodes, DI keywords, refinement suggestions, and
@@ -46,10 +52,15 @@ struct SearchResponse {
   size_t candidate_count = 0;    // LCP-list entries
   size_t lce_count = 0;          // responses that are LCE nodes
 
+  /// The planner's decision and the statistics behind it; `strategy`
+  /// names the evaluator that produced `nodes`.
+  PlanInfo plan;
+
   /// Per-stage wall-clock, for the complexity analysis and --explain.
   /// Populated from `trace` (the span tree is the source of truth);
-  /// total_ms >= parse_ms + stage sum, the residual being sort/allocation
-  /// overhead outside any stage span (see docs/OBSERVABILITY.md).
+  /// total_ms >= parse_ms + stage sum, the difference — reported as
+  /// `other_ms` — being sort/allocation overhead outside any stage span
+  /// (see docs/OBSERVABILITY.md).
   struct Timings {
     double parse_ms = 0.0;    // query-text parse (string overload only)
     double merge_ms = 0.0;    // k-way merge of the posting lists
@@ -64,17 +75,20 @@ struct SearchResponse {
       return parse_ms + merge_ms + window_ms + lce_ms + di_ms + refine_ms;
     }
     /// total_ms minus the accounted stages (clamped at 0): sorting,
-    /// result assembly and other unattributed work.
-    double ResidualMs() const {
-      double residual = total_ms - StageSumMs();
-      return residual > 0.0 ? residual : 0.0;
+    /// result assembly and other unattributed work. Surfaced as
+    /// `other_ms` in the explain document so allocator/arena overhead
+    /// stays measurable.
+    double OtherMs() const {
+      double other = total_ms - StageSumMs();
+      return other > 0.0 ? other : 0.0;
     }
   };
   Timings timings;
 
   /// Full span tree for this query (stage spans `merged_list`,
-  /// `window_scan`, `lce` (children `prune`, `ranking`), `di`,
-  /// `refinement`, plus `parse` for text queries).
+  /// `window_scan`, `lce` (children `prune`, `ranking`, and
+  /// `probe.gather` on probe plans), `di`, `refinement`, plus `parse`
+  /// for text queries and a zero-length `plan.<strategy>` marker).
   Trace trace;
 };
 

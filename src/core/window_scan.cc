@@ -55,6 +55,16 @@ std::vector<LcpCandidate> ComputeLcpCandidates(const MergedList& sl,
 
 std::vector<LcpCandidate> PruneCoveredAncestors(
     const MergedList& sl, std::vector<LcpCandidate> candidates) {
+  std::vector<uint64_t> masks;
+  masks.reserve(candidates.size());
+  for (const LcpCandidate& candidate : candidates) {
+    masks.push_back(sl.SubtreeMask(DeweySpan::Of(candidate.node)));
+  }
+  return PruneCoveredAncestorsMasked(std::move(candidates), masks);
+}
+
+std::vector<LcpCandidate> PruneCoveredAncestorsMasked(
+    std::vector<LcpCandidate> candidates, const std::vector<uint64_t>& masks) {
   struct Open {
     size_t index;               // into `candidates`
     uint64_t mask;              // own subtree keyword mask
@@ -83,8 +93,7 @@ std::vector<LcpCandidate> PruneCoveredAncestors(
       stack.pop_back();
       finalize(open);
     }
-    stack.push_back(
-        Open{i, sl.SubtreeMask(DeweySpan::Of(id)), 0, false});
+    stack.push_back(Open{i, masks[i], 0, false});
   }
   while (!stack.empty()) {
     Open open = stack.back();

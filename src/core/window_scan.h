@@ -37,6 +37,13 @@ std::vector<LcpCandidate> ComputeLcpCandidates(const MergedList& sl,
 std::vector<LcpCandidate> PruneCoveredAncestors(
     const MergedList& sl, std::vector<LcpCandidate> candidates);
 
+/// Same sweep, but over caller-supplied subtree keyword masks (aligned
+/// with `candidates`). The anchor-probe evaluator computes the masks with
+/// per-list seeks instead of a merged list; the masks must equal what
+/// `sl.SubtreeMask(candidate)` would report for results to be identical.
+std::vector<LcpCandidate> PruneCoveredAncestorsMasked(
+    std::vector<LcpCandidate> candidates, const std::vector<uint64_t>& masks);
+
 }  // namespace gks
 
 #endif  // GKS_CORE_WINDOW_SCAN_H_

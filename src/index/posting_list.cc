@@ -270,6 +270,26 @@ size_t PostingList::size() const {
   return ids_.size();
 }
 
+DeweySpan PostingList::first_id() const {
+  if (backing_ != nullptr &&
+      !backing_->ready.load(std::memory_order_acquire)) {
+    return backing_->view.block_first(0);
+  }
+  return ids_.At(0);
+}
+
+DeweySpan PostingList::last_id() const {
+  if (backing_ != nullptr &&
+      !backing_->ready.load(std::memory_order_acquire)) {
+    return backing_->view.block_last(backing_->view.block_count() - 1);
+  }
+  return ids_.At(ids_.size() - 1);
+}
+
+size_t PostingList::encoded_block_count() const {
+  return backing_ != nullptr ? backing_->view.block_count() : 0;
+}
+
 size_t PostingList::MemoryUsage() const {
   size_t total = ids_.MemoryUsage();
   if (backing_ != nullptr) total += backing_->view.MemoryUsage();

@@ -182,6 +182,16 @@ class PostingList {
   /// materializing (so e.g. smallest-list selection stays lazy).
   size_t size() const;
   bool empty() const { return size() == 0; }
+
+  /// First/last id of a finalized, non-empty list. Block-backed lists
+  /// answer from the skip table without decoding any payload — the query
+  /// planner reads document spans from these at plan time.
+  DeweySpan first_id() const;
+  DeweySpan last_id() const;
+
+  /// Encoded v2 blocks behind this list; 0 for eager storage. A cheap
+  /// decode-cost statistic for the query planner.
+  size_t encoded_block_count() const;
   DeweySpan At(size_t i) const { return materialized_ids().At(i); }
   DeweyId IdAt(size_t i) const { return materialized_ids().IdAt(i); }
 

@@ -78,12 +78,14 @@ Result<JsonValue> ServerConnection::Call(const std::string& request_json) {
 }
 
 Result<JsonValue> ServerConnection::Query(const std::string& query_text,
-                                          uint32_t s, size_t top) {
+                                          uint32_t s, size_t top,
+                                          const std::string& plan) {
   JsonWriter json;
   json.BeginObject();
   json.Key("query").String(query_text);
   json.Key("s").UInt(s);
   json.Key("top").UInt(top);
+  if (!plan.empty()) json.Key("plan").String(plan);
   json.EndObject();
   return Call(json.str());
 }
@@ -147,7 +149,7 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
         ++result.report.sent;
         WallTimer request_timer;
         Result<JsonValue> response =
-            connection->Query(query, options.s, options.top);
+            connection->Query(query, options.s, options.top, options.plan);
         result.latencies_ms.push_back(request_timer.ElapsedMillis());
         if (!response.ok()) {
           ++result.report.transport_failures;

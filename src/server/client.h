@@ -29,9 +29,10 @@ class ServerConnection {
   /// response line, parsed as JSON. IOError when the server closed.
   Result<JsonValue> Call(const std::string& request_json);
 
-  /// Convenience wrappers over Call.
+  /// Convenience wrappers over Call. A non-empty `plan` is forwarded as
+  /// the wire `plan` field (execution-strategy override, docs/SERVER.md).
   Result<JsonValue> Query(const std::string& query_text, uint32_t s = 1,
-                          size_t top = 10);
+                          size_t top = 10, const std::string& plan = "");
   Result<JsonValue> Admin(const std::string& verb,
                           const std::string& reload_path = "");
 
@@ -80,6 +81,9 @@ struct LoadOptions {
   std::vector<std::string> queries;
   uint32_t s = 1;
   size_t top = 10;
+  /// Execution-strategy override sent with every request ("" = omit the
+  /// field, i.e. server-side auto).
+  std::string plan;
 };
 
 /// Runs the load: `connections` threads, each with its own connection,

@@ -43,8 +43,9 @@ int ClientUsage() {
       "usage: gks client [--host=H] [--port=N]\n"
       "        --admin=health|metrics|stats|reload|quit [--path=P]\n"
       "      | --query=\"<query>\" [--s=N] [--top=N] [--explain]\n"
+      "        [--plan=auto|merge|probe|hybrid]\n"
       "      | --queries=FILE [--connections=C] [--requests=N]\n"
-      "        [--s=N] [--top=N]\n");
+      "        [--s=N] [--top=N] [--plan=auto|merge|probe|hybrid]\n");
   return 2;
 }
 
@@ -194,6 +195,9 @@ int RunClientCommand(const FlagParser& flags) {
     request.Key("s").UInt(static_cast<uint64_t>(flags.GetInt("s", 1)));
     request.Key("top").UInt(static_cast<uint64_t>(flags.GetInt("top", 10)));
     if (flags.GetBool("explain")) request.Key("explain").Bool(true);
+    if (flags.Has("plan")) {
+      request.Key("plan").String(flags.GetString("plan", "auto"));
+    }
     request.EndObject();
     Result<JsonValue> response = connection->Call(request.str());
     if (!response.ok()) {
@@ -210,12 +214,14 @@ int RunClientCommand(const FlagParser& flags) {
                    message ? message->GetString().c_str() : "");
       return 1;
     }
-    std::printf("epoch %lld, %zu nodes (|S_L|=%lld, candidates=%lld) "
-                "in %.3fms\n",
+    const JsonValue* plan = response->Find("plan");
+    std::printf("epoch %lld, %zu nodes (|S_L|=%lld, candidates=%lld, "
+                "plan=%s) in %.3fms\n",
                 (long long)response->Find("epoch")->GetInt(),
                 response->Find("nodes")->size(),
                 (long long)response->Find("merged_list_size")->GetInt(),
                 (long long)response->Find("candidates")->GetInt(),
+                plan != nullptr ? plan->GetString().c_str() : "?",
                 response->Find("elapsed_ms")->GetDouble());
     for (const JsonValue& node : response->Find("nodes")->items()) {
       const JsonValue* describe = node.Find("describe");
@@ -254,6 +260,7 @@ int RunClientCommand(const FlagParser& flags) {
         static_cast<size_t>(flags.GetInt("requests", 100));
     options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
     options.top = static_cast<size_t>(flags.GetInt("top", 10));
+    if (flags.Has("plan")) options.plan = flags.GetString("plan", "auto");
     for (std::string& line : SplitString(text, '\n')) {
       size_t begin = line.find_first_not_of(" \t\r");
       if (begin == std::string::npos || line[begin] == '#') continue;

@@ -107,7 +107,10 @@ void ShutdownFd(int fd) {
 
 Status WriteAll(int fd, std::string_view data) {
   while (!data.empty()) {
-    ssize_t n = ::write(fd, data.data(), data.size());
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not kill
+    // the process — embedders (tests, library users) don't necessarily
+    // ignore SIGPIPE the way the serve command does.
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("write");

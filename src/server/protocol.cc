@@ -8,7 +8,7 @@ namespace {
 /// Fields a query request may carry; anything else is a bad_request.
 bool IsKnownQueryField(std::string_view key) {
   return key == "query" || key == "s" || key == "top" || key == "di" ||
-         key == "refine" || key == "explain" || key == "id";
+         key == "refine" || key == "explain" || key == "plan" || key == "id";
 }
 
 /// Fields an admin request may carry.
@@ -128,6 +128,13 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
     // --explain-json semantics: documenting the pipeline runs all of it.
     if (request.explain) request.options.suggest_refinements = true;
   }
+  if (const JsonValue* plan = root.Find("plan")) {
+    if (!plan->is_string() ||
+        !ParsePlanMode(plan->GetString(), &request.options.plan)) {
+      return Status::InvalidArgument(
+          "'plan' must be one of \"auto\", \"merge\", \"probe\", \"hybrid\"");
+    }
+  }
   return request;
 }
 
@@ -144,6 +151,7 @@ std::string WireResponseBuilder::Query(const WireRequest& request,
   json.Key("merged_list_size").UInt(response.merged_list_size);
   json.Key("candidates").UInt(response.candidate_count);
   json.Key("lce").UInt(response.lce_count);
+  json.Key("plan").String(PlanModeName(response.plan.strategy));
   json.Key("elapsed_ms").Double(elapsed_ms);
   json.Key("nodes").BeginArray();
   for (const GksNode& node : response.nodes) {

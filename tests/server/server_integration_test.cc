@@ -337,7 +337,12 @@ TEST(ServerIntegrationTest, QuitDrainsInFlightQueriesBeforeExit) {
     }
   });
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Quit only after the busy client demonstrably got an answer — a fixed
+  // sleep is not enough under sanitizers, where the first query can take
+  // longer than the whole drain.
+  while (ok_count.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   ServerConnection admin = ConnectOrDie(*server);
   Result<JsonValue> quit = admin.Admin("quit");
   ASSERT_TRUE(quit.ok()) << quit.status().ToString();
@@ -349,6 +354,71 @@ TEST(ServerIntegrationTest, QuitDrainsInFlightQueriesBeforeExit) {
   busy.join();
   EXPECT_GT(ok_count.load(), 0);
   EXPECT_EQ(bad_responses.load(), 0);
+}
+
+// The wire protocol's `plan` override: every forced strategy is honored,
+// echoed in the response `plan` field, returns the same nodes, and bumps
+// its `gks.search.plan.*` counter — including after a hot reload (the
+// planner lives in the searcher, which is rebuilt per snapshot).
+TEST(ServerIntegrationTest, PlanOverrideHonoredAndCountedAcrossReload) {
+  auto server = StartServer({});
+  ServerConnection connection = ConnectOrDie(*server);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+
+  auto query_with_plan = [&connection](const std::string& plan) {
+    Result<JsonValue> response = connection.Query("database xml", 1, 10, plan);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->Find("ok")->GetBool());
+    return std::move(response).value();
+  };
+
+  MetricsSnapshot before = registry.Snapshot();
+  JsonValue merge = query_with_plan("merge");
+  JsonValue probe = query_with_plan("probe");
+  JsonValue hybrid = query_with_plan("hybrid");
+  JsonValue autop = query_with_plan("auto");
+
+  // Forced strategies are echoed verbatim; auto resolves to a concrete one.
+  EXPECT_EQ(merge.Find("plan")->GetString(), "merge");
+  EXPECT_EQ(probe.Find("plan")->GetString(), "probe");
+  EXPECT_EQ(hybrid.Find("plan")->GetString(), "hybrid");
+  const std::string resolved = autop.Find("plan")->GetString();
+  EXPECT_TRUE(resolved == "merge" || resolved == "probe" ||
+              resolved == "hybrid")
+      << resolved;
+
+  // Identical results over the wire regardless of strategy.
+  ASSERT_EQ(merge.Find("nodes")->size(), probe.Find("nodes")->size());
+  ASSERT_EQ(merge.Find("nodes")->size(), hybrid.Find("nodes")->size());
+  for (size_t i = 0; i < merge.Find("nodes")->size(); ++i) {
+    const std::string id =
+        merge.Find("nodes")->items()[i].Find("id")->GetString();
+    EXPECT_EQ(probe.Find("nodes")->items()[i].Find("id")->GetString(), id);
+    EXPECT_EQ(hybrid.Find("nodes")->items()[i].Find("id")->GetString(), id);
+  }
+
+  MetricsSnapshot mid = registry.Snapshot();
+  MetricsSnapshot delta = MetricsSnapshot::Delta(before, mid);
+  EXPECT_GE(delta.counters.at("gks.search.plan.merge_total"), 1u);
+  EXPECT_GE(delta.counters.at("gks.search.plan.probe_total"), 1u);
+  EXPECT_GE(delta.counters.at("gks.search.plan.hybrid_total"), 1u);
+
+  // A bad plan value is a bad_request, not a silent fallback.
+  Result<JsonValue> bad =
+      connection.Call(R"({"query":"database","plan":"fastest"})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->Find("ok")->GetBool());
+  EXPECT_EQ(bad->Find("error")->GetString(), "bad_request");
+
+  // Counters keep advancing on the post-reload snapshot.
+  Result<JsonValue> reloaded = connection.Admin("reload");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->Find("ok")->GetBool());
+  JsonValue after_probe = query_with_plan("probe");
+  EXPECT_EQ(after_probe.Find("plan")->GetString(), "probe");
+  MetricsSnapshot after = registry.Snapshot();
+  MetricsSnapshot reload_delta = MetricsSnapshot::Delta(mid, after);
+  EXPECT_GE(reload_delta.counters.at("gks.search.plan.probe_total"), 1u);
 }
 
 TEST(ServerIntegrationTest, MmapLoadServesIdenticalResults) {

@@ -67,11 +67,13 @@ int Usage() {
       "  gks index  <out.gksidx> <file.xml...> [--threads=N] [--format=v2|v1]\n"
       "  gks search <index.gksidx> \"<query>\" [--s=N] [--top=N] [--di=M]\n"
       "             [--refine] [--schema-reconcile] [--explain] [--chunks=N]\n"
-      "             [--explain-json] [--metrics]\n"
+      "             [--explain-json] [--metrics] [--plan=auto|merge|probe|"
+      "hybrid]\n"
       "             (keywords may be tag-constrained: year:2001,\n"
       "              author:\"peter buneman\")\n"
       "  gks batch  <index.gksidx> <queries.txt> [--threads=N] [--cache=CAP]\n"
       "             [--repeat=R] [--s=N] [--top=N] [--print] [--metrics]\n"
+      "             [--plan=auto|merge|probe|hybrid]\n"
       "             (one query per line; '#' starts a comment)\n"
       "  gks analyze <index.gksidx> \"<query>\" [--s=N] [--facets]\n"
       "             [--agg=TAG] [--hist=TAG:BUCKETS]\n"
@@ -92,6 +94,20 @@ int Usage() {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// --plan forces the execution strategy; auto (the default) lets the
+// planner choose from posting-list statistics (docs/PERFORMANCE.md).
+bool ParsePlanFlag(const FlagParser& flags, SearchOptions* options) {
+  std::string plan = flags.GetString("plan", "auto");
+  if (!ParsePlanMode(plan, &options->plan)) {
+    std::fprintf(stderr,
+                 "error: --plan must be auto, merge, probe or hybrid "
+                 "(got '%s')\n",
+                 plan.c_str());
+    return false;
+  }
+  return true;
 }
 
 // --mmap selects the zero-copy loader: the file is mapped read-only and
@@ -181,6 +197,7 @@ int CmdSearch(const FlagParser& flags) {
   // --explain-json documents the full pipeline, so it runs every stage.
   options.suggest_refinements =
       flags.GetBool("refine") || flags.GetBool("explain-json");
+  if (!ParsePlanFlag(flags, &options)) return 2;
 
   GksSearcher searcher(&*index);
   WallTimer timer;
@@ -196,10 +213,11 @@ int CmdSearch(const FlagParser& flags) {
     }
     return 0;
   }
-  std::printf("%zu nodes (|S_L|=%zu, candidates=%zu, LCE=%zu) in %.2fms\n",
-              response->nodes.size(), response->merged_list_size,
-              response->candidate_count, response->lce_count,
-              timer.ElapsedMillis());
+  std::printf(
+      "%zu nodes (|S_L|=%zu, candidates=%zu, LCE=%zu, plan=%s) in %.2fms\n",
+      response->nodes.size(), response->merged_list_size,
+      response->candidate_count, response->lce_count,
+      PlanModeName(response->plan.strategy), timer.ElapsedMillis());
   if (flags.GetBool("explain")) {
     std::printf("%s\n", FormatSearchDiagnostics(*response).c_str());
   }
@@ -275,6 +293,7 @@ int CmdBatch(const FlagParser& flags) {
   options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
   options.max_results = static_cast<size_t>(flags.GetInt("top", 20));
   options.di_top_m = static_cast<size_t>(flags.GetInt("di", 5));
+  if (!ParsePlanFlag(flags, &options)) return 2;
 
   size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   std::unique_ptr<ThreadPool> pool;
