@@ -25,41 +25,6 @@ struct MergeMetrics {
   }
 };
 
-// True if the element's tag satisfies the atom's constraint. Tags are
-// stored raw ("Course"); the constraint is analyzed, so compare through
-// the tag pipeline with per-tag-id memoization.
-class TagConstraintMatcher {
- public:
-  TagConstraintMatcher(const XmlIndex& index, const std::string& constraint)
-      : index_(index), constraint_(constraint) {}
-
-  bool Matches(DeweySpan id) {
-    const NodeInfo* info = index_.nodes.Find(id);
-    if (info == nullptr) return false;
-    if (info->tag_id >= cache_.size()) cache_.resize(info->tag_id + 1, 0);
-    char& verdict = cache_[info->tag_id];
-    if (verdict == 0) {
-      text::AnalyzerOptions tag_options;
-      tag_options.remove_stopwords = false;
-      bool match = false;
-      for (const std::string& token :
-           text::Analyze(index_.nodes.TagName(info->tag_id), tag_options)) {
-        if (token == constraint_) {
-          match = true;
-          break;
-        }
-      }
-      verdict = match ? 1 : -1;
-    }
-    return verdict == 1;
-  }
-
- private:
-  const XmlIndex& index_;
-  const std::string& constraint_;
-  std::vector<char> cache_;  // 0 unknown, 1 match, -1 mismatch
-};
-
 // The k-way merge kernel shared by Build (full S_L) and FromParts
 // (probe-reduced S_L): appends every entry of `lists` to ids/atoms in
 // document order, equal ids tie-broken by ascending list index.
@@ -201,6 +166,27 @@ void MergeListsAppend(const std::vector<const PackedIds*>& lists,
 }
 
 }  // namespace
+
+bool TagConstraintMatcher::Matches(DeweySpan id) {
+  const NodeInfo* info = index_.nodes.Find(id);
+  if (info == nullptr) return false;
+  if (info->tag_id >= cache_.size()) cache_.resize(info->tag_id + 1, 0);
+  char& verdict = cache_[info->tag_id];
+  if (verdict == 0) {
+    text::AnalyzerOptions tag_options;
+    tag_options.remove_stopwords = false;
+    bool match = false;
+    for (const std::string& token :
+         text::Analyze(index_.nodes.TagName(info->tag_id), tag_options)) {
+      if (token == constraint_) {
+        match = true;
+        break;
+      }
+    }
+    verdict = match ? 1 : -1;
+  }
+  return verdict == 1;
+}
 
 void AtomOccurrencesInto(const XmlIndex& index, const QueryAtom& atom,
                          PackedIds* out) {

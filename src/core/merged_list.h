@@ -28,6 +28,25 @@ PackedIds AtomOccurrences(const XmlIndex& index, const QueryAtom& atom);
 void AtomOccurrencesInto(const XmlIndex& index, const QueryAtom& atom,
                          PackedIds* out);
 
+/// True if the element's tag satisfies the atom's constraint. Tags are
+/// stored raw ("Course"); the constraint is analyzed, so compare through
+/// the tag pipeline with per-tag-id memoization. Shared by the merged-list
+/// builder and the top-k evaluator (both filter occurrences the same way,
+/// which is what keeps their results identical).
+class TagConstraintMatcher {
+ public:
+  /// Both referents must outlive the matcher.
+  TagConstraintMatcher(const XmlIndex& index, const std::string& constraint)
+      : index_(index), constraint_(constraint) {}
+
+  bool Matches(DeweySpan id);
+
+ private:
+  const XmlIndex& index_;
+  const std::string& constraint_;
+  std::vector<char> cache_;  // by tag id: 0 unknown, 1 match, -1 mismatch
+};
+
 class MergedList {
  public:
   /// Builds S_L for `query` against `index` with a cursor-based k-way

@@ -37,6 +37,24 @@ struct PlanAtomStats {
   bool estimated = false; // phrase/tag atom: `postings` is the raw bound
 };
 
+/// The top-k axis of a plan: orthogonal to the strategy choice. When
+/// engaged (`--top-k` > 0 on a non-empty query) the block-max evaluator
+/// replaces the full evaluation pipeline — for any strategy, since every
+/// strategy returns identical nodes — and fills the work counters after
+/// execution. Results equal full evaluation truncated to the k best.
+struct PlanTopK {
+  uint32_t k = 0;        // requested result bound (0 = full evaluation)
+  bool engaged = false;  // block-max evaluator ran instead of the strategy
+  std::string reason;    // one-line explanation (why engaged / why not)
+
+  // Filled after execution (see TopKStats).
+  uint64_t segments = 0;
+  uint64_t segments_pruned_sparse = 0;
+  uint64_t segments_pruned_bound = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t docs_skipped = 0;
+};
+
 /// The chosen plan plus everything needed to explain it: heuristic
 /// inputs, the decision, and (after execution) probe-side work counters.
 struct PlanInfo {
@@ -51,6 +69,9 @@ struct PlanInfo {
   // Filled by the probe evaluator after execution (0 on merge).
   uint64_t probe_events = 0;       // window end events evaluated
   uint64_t gathered_postings = 0;  // reduced-S_L entries materialized
+
+  /// Top-k early-termination axis (composes with any strategy).
+  PlanTopK topk;
 
   std::vector<PlanAtomStats> atoms;
 };

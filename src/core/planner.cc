@@ -23,12 +23,28 @@ uint32_t DocSpanOf(const PostingList& list) {
 }  // namespace
 
 PlannerDecision ChoosePlan(const XmlIndex& index, const Query& query,
-                           uint32_t effective_s, PlanMode requested) {
+                           uint32_t effective_s, PlanMode requested,
+                           uint32_t top_k) {
   PlannerDecision out;
   PlanInfo& info = out.info;
   info.requested = requested;
 
   const size_t n = query.size();
+
+  // The top-k axis is orthogonal to the strategy choice: any strategy
+  // produces the same nodes, so a bounded result set can always be served
+  // by the block-max evaluator instead. The strategy below is still chosen
+  // and reported — it documents what a full evaluation would have run.
+  info.topk.k = top_k;
+  if (top_k > 0 && n > 0) {
+    char treason[96];
+    std::snprintf(treason, sizeof(treason),
+                  "top-%u requested: block-max evaluator with rank-bound "
+                  "early termination",
+                  top_k);
+    info.topk.engaged = true;
+    info.topk.reason = treason;
+  }
   info.atoms.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const QueryAtom& atom = query.atoms()[i];

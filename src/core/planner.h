@@ -35,8 +35,13 @@ struct PlannerDecision {
 /// any s/n, so forcing is always safe — just possibly slower). The
 /// heuristic thresholds and measured crossover points are documented in
 /// docs/PERFORMANCE.md. `effective_s` is the already-clamped threshold.
+///
+/// `top_k` > 0 engages the orthogonal top-k axis (PlanInfo::topk): the
+/// block-max evaluator substitutes for the chosen strategy at execution
+/// time and returns the identical k best nodes (docs/PERFORMANCE.md).
 PlannerDecision ChoosePlan(const XmlIndex& index, const Query& query,
-                           uint32_t effective_s, PlanMode requested);
+                           uint32_t effective_s, PlanMode requested,
+                           uint32_t top_k = 0);
 
 }  // namespace gks
 

@@ -46,6 +46,8 @@ std::string QueryResultCache::MakeKey(const std::string& normalized_query,
   // Every plan returns identical nodes, but the recorded PlanInfo/trace
   // differ — a forced-plan explain must not surface another plan's entry.
   AppendField(&key, static_cast<uint64_t>(options.plan));
+  // Different k means different nodes (and different DI/refinements).
+  AppendField(&key, options.top_k);
   AppendField(&key, epoch);
   return key;
 }

@@ -15,6 +15,7 @@
 #include "core/planner.h"
 #include "core/probe_eval.h"
 #include "core/result_cache.h"
+#include "core/topk_eval.h"
 #include "core/window_scan.h"
 
 namespace gks {
@@ -70,7 +71,8 @@ Result<SearchResponse> GksSearcher::SearchTraced(
   // list storage, gather buffers) cycle through it across queries instead
   // of hitting the allocator each time.
   QueryArena& arena = QueryArena::ThreadLocal();
-  PlannerDecision decision = ChoosePlan(*index_, query, s, options.plan);
+  PlannerDecision decision =
+      ChoosePlan(*index_, query, s, options.plan, options.top_k);
   response.plan = std::move(decision.info);
 
   MetricsRegistry& registry = MetricsRegistry::Global();
@@ -96,7 +98,23 @@ Result<SearchResponse> GksSearcher::SearchTraced(
       break;  // unreachable: the planner always resolves kAuto
   }
 
-  if (response.plan.strategy == PlanMode::kMerge) {
+  if (response.plan.topk.engaged) {
+    // Top-k axis: the block-max evaluator substitutes for the chosen
+    // strategy (its nodes equal any strategy's, truncated to the k best,
+    // already in final order). Spans `topk.scan` / `topk.finalize` and the
+    // gks.search.topk.* counters are recorded inside.
+    TopKResult topk =
+        EvaluateTopK(*index_, query, s, options.top_k, &arena);
+    response.nodes = std::move(topk.nodes);
+    response.merged_list_size = topk.merged_list_size;
+    response.candidate_count = topk.candidate_count;
+    response.plan.topk.segments = topk.stats.segments;
+    response.plan.topk.segments_pruned_sparse =
+        topk.stats.segments_pruned_sparse;
+    response.plan.topk.segments_pruned_bound = topk.stats.segments_pruned_bound;
+    response.plan.topk.blocks_skipped = topk.stats.blocks_skipped;
+    response.plan.topk.docs_skipped = topk.stats.docs_skipped;
+  } else if (response.plan.strategy == PlanMode::kMerge) {
     MergedList sl = [&] {
       ScopedSpan span("merged_list");
       MergedList merged = MergedList::Build(*index_, query, &arena);
@@ -167,15 +185,17 @@ Result<SearchResponse> GksSearcher::SearchTraced(
   }
 
   // Rank: potential-flow score first, then keyword count, then document
-  // order for determinism.
-  std::sort(response.nodes.begin(), response.nodes.end(),
-            [](const GksNode& a, const GksNode& b) {
-              if (a.rank != b.rank) return a.rank > b.rank;
-              if (a.keyword_count != b.keyword_count) {
-                return a.keyword_count > b.keyword_count;
-              }
-              return a.id < b.id;
-            });
+  // order for determinism. The top-k evaluator already emits this order.
+  if (!response.plan.topk.engaged) {
+    std::sort(response.nodes.begin(), response.nodes.end(),
+              [](const GksNode& a, const GksNode& b) {
+                if (a.rank != b.rank) return a.rank > b.rank;
+                if (a.keyword_count != b.keyword_count) {
+                  return a.keyword_count > b.keyword_count;
+                }
+                return a.id < b.id;
+              });
+  }
 
   if (options.discover_di) {
     ScopedSpan span("di");
@@ -277,7 +297,22 @@ std::string FormatSearchDiagnostics(const SearchResponse& response) {
       response.candidate_count, response.nodes.size(), response.lce_count,
       t.parse_ms, t.merge_ms, t.window_ms, t.lce_ms, t.di_ms, t.refine_ms,
       t.StageSumMs(), t.OtherMs(), t.total_ms);
-  return buf;
+  std::string out = buf;
+  const PlanTopK& topk = response.plan.topk;
+  if (topk.engaged) {
+    char tbuf[224];
+    std::snprintf(
+        tbuf, sizeof(tbuf),
+        "\ntop-k=%u  segments=%llu (sparse-skipped %llu, bound-skipped "
+        "%llu)  blocks_skipped=%llu  docs_skipped=%llu",
+        topk.k, static_cast<unsigned long long>(topk.segments),
+        static_cast<unsigned long long>(topk.segments_pruned_sparse),
+        static_cast<unsigned long long>(topk.segments_pruned_bound),
+        static_cast<unsigned long long>(topk.blocks_skipped),
+        static_cast<unsigned long long>(topk.docs_skipped));
+    out += tbuf;
+  }
+  return out;
 }
 
 std::string ExplainJson(const SearchResponse& response) {
@@ -299,6 +334,16 @@ std::string ExplainJson(const SearchResponse& response) {
   json.Key("skew").Double(plan.skew, 2);
   json.Key("probe_events").UInt(plan.probe_events);
   json.Key("gathered_postings").UInt(plan.gathered_postings);
+  json.Key("topk").BeginObject();
+  json.Key("k").UInt(plan.topk.k);
+  json.Key("engaged").Bool(plan.topk.engaged);
+  json.Key("reason").String(plan.topk.reason);
+  json.Key("segments").UInt(plan.topk.segments);
+  json.Key("segments_pruned_sparse").UInt(plan.topk.segments_pruned_sparse);
+  json.Key("segments_pruned_bound").UInt(plan.topk.segments_pruned_bound);
+  json.Key("blocks_skipped").UInt(plan.topk.blocks_skipped);
+  json.Key("docs_skipped").UInt(plan.topk.docs_skipped);
+  json.EndObject();
   json.Key("atoms").BeginArray();
   for (const PlanAtomStats& atom : plan.atoms) {
     json.BeginObject();

@@ -38,6 +38,13 @@ struct SearchOptions {
   /// statistics; forcing a strategy is always exact, just possibly slower
   /// (docs/PERFORMANCE.md).
   PlanMode plan = PlanMode::kAuto;
+  /// When > 0, return only the k best-ranked nodes via the block-max
+  /// early-termination evaluator (docs/PERFORMANCE.md). The nodes equal
+  /// full evaluation truncated to k; DI and refinements are then derived
+  /// from those k nodes only (that is the point of a top-k query). Unlike
+  /// `max_results` — a post-hoc trim — `top_k` changes how much work the
+  /// evaluator does. Both may be set; max_results applies after.
+  uint32_t top_k = 0;
 };
 
 /// A GKS response: ranked nodes, DI keywords, refinement suggestions, and

@@ -1,0 +1,78 @@
+#include "index/block_max.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "index/posting_blocks.h"
+
+namespace gks {
+namespace {
+
+// Raw-byte key of an id's parent prefix (components [0, size-1)); exact
+// equality is all the sibling tally needs.
+std::string ParentKey(DeweySpan id) {
+  std::string key;
+  key.resize((id.size - 1) * sizeof(uint32_t));
+  std::memcpy(key.data(), id.data, key.size());
+  return key;
+}
+
+}  // namespace
+
+std::vector<BlockRankBound> ComputeBlockRankBounds(const PackedIds& ids,
+                                                   const NodeInfoTable& nodes) {
+  const size_t n = ids.size();
+  const size_t blocks = (n + kPostingBlockSize - 1) / kPostingBlockSize;
+  std::vector<BlockRankBound> bounds(blocks);
+  if (blocks == 0) return bounds;
+
+  // Pass 1: tally how many ids of THIS list share each exact parent —
+  // siblings are not adjacent in document order once they have subtrees,
+  // so a running count over neighbors would undercount.
+  std::unordered_map<std::string, uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      siblings;
+  for (size_t i = 0; i < n; ++i) {
+    DeweySpan id = ids.At(i);
+    if (id.size > 1) ++siblings[ParentKey(id)];
+  }
+
+  // Pass 2: per-id weight, folded into per-block max weight + depth range.
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t begin = b * kPostingBlockSize;
+    const size_t end = std::min(n, begin + kPostingBlockSize);
+    BlockRankBound& bound = bounds[b];
+    bound.weight_scaled = 1;  // raised to the block max below
+    bound.min_depth = ids.At(begin).size;
+    bound.max_depth = bound.min_depth;
+    for (size_t i = begin; i < end; ++i) {
+      DeweySpan id = ids.At(i);
+      bound.min_depth = std::min(bound.min_depth, id.size);
+      bound.max_depth = std::max(bound.max_depth, id.size);
+
+      uint32_t scaled = kRankWeightOne;
+      const NodeInfo* info = id.size > 1 ? nodes.Find(id) : nullptr;
+      if (info != nullptr && info->is_attribute() && !info->is_entity()) {
+        const NodeInfo* parent =
+            nodes.Find(DeweySpan{id.data, id.size - 1});
+        if (parent != nullptr && parent->child_count > 1) {
+          auto it = siblings.find(ParentKey(id));
+          const uint64_t k = it != siblings.end() ? it->second : 1;
+          // Ceil so the fixed-point bound never under-states k/cc.
+          uint64_t up = (k * kRankWeightOne + parent->child_count - 1) /
+                        parent->child_count;
+          scaled = static_cast<uint32_t>(
+              std::min<uint64_t>(up, kRankWeightOne));
+          if (scaled == 0) scaled = 1;
+        }
+      }
+      bound.weight_scaled = std::max(bound.weight_scaled, scaled);
+    }
+  }
+  return bounds;
+}
+
+}  // namespace gks

@@ -1,0 +1,36 @@
+#ifndef GKS_INDEX_BLOCK_MAX_H_
+#define GKS_INDEX_BLOCK_MAX_H_
+
+#include <vector>
+
+#include "index/node_info_table.h"
+#include "index/posting_list.h"
+
+namespace gks {
+
+/// Computes the per-block rank bounds (format v2 rank_bounds section) for
+/// one finalized posting list: for each kPostingBlockSize-id block, the
+/// maximum per-occurrence rank weight of any id in it plus the block's
+/// depth envelope (min/max id depth).
+///
+/// The weight bounds the potential-flow contribution of one occurrence
+/// relative to the query potential P (ranking.cc): a terminal occurrence
+/// contributes at most P, so the unconditional weight is 1.0. The one
+/// structural case where the flow provably loses mass is an attribute
+/// node under a wide parent — an attribute node holds a single text child
+/// and no element children, so it can only ever be a *leaf* terminal, and
+/// the k occurrences of this list under one parent with child_count cc
+/// jointly receive at most k/cc of the flow arriving at that parent.
+/// Occurrences that can sit on the response node itself (non-attribute
+/// ids, entity-flagged ids, document roots) keep weight 1.0.
+///
+/// The per-block weight is the MAX of the per-id weights (not a sum):
+/// per-atom flow is conserved across the equal-depth terminal antichain,
+/// so the atom's total contribution is bounded by P times the largest
+/// single-occurrence weight in the evaluated region.
+std::vector<BlockRankBound> ComputeBlockRankBounds(const PackedIds& ids,
+                                                   const NodeInfoTable& nodes);
+
+}  // namespace gks
+
+#endif  // GKS_INDEX_BLOCK_MAX_H_

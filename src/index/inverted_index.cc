@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/varint.h"
+#include "index/block_max.h"
 #include "index/lazy_section.h"
+#include "index/posting_blocks.h"
 
 namespace gks {
 
@@ -28,6 +30,18 @@ Status InvertedIndex::EnsureDecoded() const {
     GKS_RETURN_IF_ERROR(DecodeFromBlocks(&in, cell->owner, &decoded));
     if (!in.empty()) {
       return Status::Corruption("trailing bytes after inverted index section");
+    }
+    // Rank bounds validate against the freshly parsed skip tables, so they
+    // apply before any materialization can detach the block views. The
+    // bounds are copied out by value — the section bytes are not retained.
+    if (const EncodedSection* bounds = pending_bounds_.get()) {
+      std::string raw;
+      std::string_view payload = bounds->bytes;
+      if (bounds->lz) {
+        GKS_RETURN_IF_ERROR(LzDecompress(bounds->bytes, &raw));
+        payload = raw;
+      }
+      GKS_RETURN_IF_ERROR(decoded.ApplyRankBounds(payload));
     }
     // An LZ-wrapped section decodes into a temporary buffer that dies with
     // this lambda, so the lists cannot keep block views into it. (The
@@ -183,6 +197,136 @@ void InvertedIndex::MaterializeAll() {
     (void)term;
     list.Materialize();
   }
+}
+
+namespace {
+
+// Lexicographic term order — the iteration order EncodeToBlocks writes
+// and the bounds section must mirror entry for entry.
+template <typename Map>
+std::vector<const std::string*> SortedTermPointers(const Map& lists) {
+  std::vector<const std::string*> terms;
+  terms.reserve(lists.size());
+  for (const auto& [term, list] : lists) {
+    (void)list;
+    terms.push_back(&term);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  return terms;
+}
+
+}  // namespace
+
+void InvertedIndex::EncodeRankBoundsTo(const NodeInfoTable& nodes,
+                                       std::string* dst) const {
+  RequireDecoded();
+  PutVarint64(dst, lists_.size());
+  for (const std::string* term : SortedTermPointers(lists_)) {
+    const PostingList& list = lists_.find(*term)->second;
+    std::vector<BlockRankBound> bounds =
+        ComputeBlockRankBounds(list.materialized_ids(), nodes);
+    PutVarint64(dst, bounds.size());
+    for (const BlockRankBound& bound : bounds) {
+      PutVarint32(dst, bound.weight_scaled);
+      PutVarint32(dst, bound.min_depth);
+      PutVarint32(dst, bound.max_depth);
+    }
+  }
+}
+
+Status InvertedIndex::ApplyRankBounds(std::string_view section) {
+  RequireDecoded();
+  std::string_view in = section;
+  auto at = [&section](std::string_view rest) {
+    return " at section byte " + std::to_string(section.size() - rest.size());
+  };
+  auto read64 = [&](uint64_t* v) {
+    return GetVarint64(&in, v).ok()
+               ? Status::OK()
+               : Status::Corruption("rank_bounds section truncated" + at(in));
+  };
+  auto read32 = [&](uint32_t* v) {
+    return GetVarint32(&in, v).ok()
+               ? Status::OK()
+               : Status::Corruption("rank_bounds section truncated" + at(in));
+  };
+
+  uint64_t term_count = 0;
+  GKS_RETURN_IF_ERROR(read64(&term_count));
+  if (term_count != lists_.size()) {
+    return Status::Corruption(
+        "rank_bounds section lists " + std::to_string(term_count) +
+        " terms, inverted index has " + std::to_string(lists_.size()) +
+        at(in));
+  }
+  for (const std::string* term : SortedTermPointers(lists_)) {
+    PostingList* list = &lists_.find(*term)->second;
+    uint64_t block_count = 0;
+    GKS_RETURN_IF_ERROR(read64(&block_count));
+    const uint64_t expected =
+        (list->size() + kPostingBlockSize - 1) / kPostingBlockSize;
+    if (block_count != expected) {
+      return Status::Corruption(
+          "rank_bounds block count " + std::to_string(block_count) +
+          " for term '" + *term + "' (list has " + std::to_string(expected) +
+          " blocks)" + at(in));
+    }
+    std::vector<BlockRankBound> bounds(block_count);
+    const BlockPostingsView* view = list->block_view();
+    if (view != nullptr && view->block_count() != block_count) {
+      return Status::Corruption(
+          "rank_bounds block count " + std::to_string(block_count) +
+          " for term '" + *term + "' does not match the skip table (" +
+          std::to_string(view->block_count()) + " blocks)" + at(in));
+    }
+    for (uint64_t b = 0; b < block_count; ++b) {
+      BlockRankBound& bound = bounds[b];
+      GKS_RETURN_IF_ERROR(read32(&bound.weight_scaled));
+      GKS_RETURN_IF_ERROR(read32(&bound.min_depth));
+      GKS_RETURN_IF_ERROR(read32(&bound.max_depth));
+      if (bound.weight_scaled == 0 || bound.weight_scaled > kRankWeightOne) {
+        return Status::Corruption("rank_bounds weight " +
+                                  std::to_string(bound.weight_scaled) +
+                                  " out of range" + at(in));
+      }
+      if (bound.min_depth > bound.max_depth) {
+        return Status::Corruption("rank_bounds depth range inverted" + at(in));
+      }
+      if (view == nullptr) continue;
+      // Bounds describe fixed kPostingBlockSize blocks; a skip table
+      // blocked any other way cannot line up with them index for index.
+      if (view->block_id_begin(b) != b * kPostingBlockSize) {
+        return Status::Corruption(
+            "rank_bounds blocking does not match the skip table of term '" +
+            *term + "'" + at(in));
+      }
+      // The skip table is ground truth for at least the block's first and
+      // last id: a depth envelope excluding either cannot bound the block.
+      if (view->block_first(b).size < bound.min_depth ||
+          view->block_first(b).size > bound.max_depth ||
+          view->block_last(b).size < bound.min_depth ||
+          view->block_last(b).size > bound.max_depth) {
+        return Status::Corruption("rank_bounds bound contradicts block " +
+                                  std::to_string(b) + " of term '" + *term +
+                                  "'" + at(in));
+      }
+    }
+    list->set_rank_bounds(std::move(bounds));
+  }
+  if (!in.empty()) {
+    return Status::Corruption("trailing bytes after rank_bounds section" +
+                              at(in));
+  }
+  return Status::OK();
+}
+
+void InvertedIndex::AttachRankBounds(std::string_view bytes, bool lz,
+                                     std::shared_ptr<const void> owner) {
+  pending_bounds_ = std::make_unique<EncodedSection>();
+  pending_bounds_->bytes = bytes;
+  pending_bounds_->lz = lz;
+  pending_bounds_->owner = std::move(owner);
 }
 
 AttrDirectory::AttrDirectory() = default;

@@ -16,6 +16,7 @@
 namespace gks {
 
 struct EncodedSection;  // lazy_section.h
+class NodeInfoTable;    // node_info_table.h
 
 /// Keyword -> posting-list map (Sec. 2.4). Terms are already analyzed
 /// (lower-cased, stop-worded, stemmed) by the index builder; each posting
@@ -84,6 +85,27 @@ class InvertedIndex {
   /// deserialization path, where the encoded buffer is about to go away).
   void MaterializeAll();
 
+  /// Format v2 rank_bounds section (block_max.h): per term in
+  /// lexicographic order — mirroring EncodeToBlocks, terms are not
+  /// repeated — a varint block count followed by one
+  /// (weight_scaled, min_depth, max_depth) varint triple per posting
+  /// block.
+  void EncodeRankBoundsTo(const NodeInfoTable& nodes, std::string* dst) const;
+
+  /// Parses a rank_bounds section payload, validates it against the
+  /// loaded lists (term/block counts must line up; bounds must not
+  /// contradict the skip table), and attaches the bounds to each list.
+  /// Corruption with a section byte offset on any mismatch. Lists must
+  /// already be decoded (call on the eager path before MaterializeAll,
+  /// while block views can still be cross-checked).
+  Status ApplyRankBounds(std::string_view section);
+
+  /// Lazy variant (mmap path): parks the still-encoded section — LZ-
+  /// wrapped when `lz` — and applies it inside EnsureDecoded, right after
+  /// the term table parses. `owner` anchors the bytes.
+  void AttachRankBounds(std::string_view bytes, bool lz,
+                        std::shared_ptr<const void> owner);
+
  private:
   /// Accessor guard: one pointer test on eager indexes, plus one acquire
   /// load once a lazy index has parsed its term table.
@@ -92,6 +114,7 @@ class InvertedIndex {
   }
 
   std::unique_ptr<EncodedSection> pending_;
+  std::unique_ptr<EncodedSection> pending_bounds_;  // rank_bounds, mmap path
   std::unordered_map<std::string, PostingList, TransparentStringHash,
                      std::equal_to<>>
       lists_;

@@ -1,5 +1,7 @@
 #include "index/posting_cursor.h"
 
+#include <algorithm>
+
 #include "common/metrics.h"
 
 namespace gks {
@@ -28,6 +30,20 @@ PostingCursor::PostingCursor(const PostingList& list) {
   }
 }
 
+size_t PostingCursor::BlockForIndex(size_t pos) const {
+  // Binary search: last block whose id_begin <= pos.
+  size_t lo = 0, hi = view_->block_count();
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (view_->block_id_begin(mid) <= pos) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 void PostingCursor::LoadBlockForPosition() const {
   // Sequential consumption steps to the next block; seeks may jump. Both
   // resolve through id_begins, with a fast path for the +1 case.
@@ -38,17 +54,7 @@ void PostingCursor::LoadBlockForPosition() const {
        pos_ < view_->block_id_begin(block_ + 2))) {
     b = block_ + 1;
   } else {
-    // Binary search: last block whose id_begin <= pos_.
-    size_t lo = 0, hi = view_->block_count();
-    while (hi - lo > 1) {
-      size_t mid = lo + (hi - lo) / 2;
-      if (view_->block_id_begin(mid) <= pos_) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    b = lo;
+    b = BlockForIndex(pos_);
   }
   if (b == block_) {
     offset_ = pos_ - view_->block_id_begin(b);
@@ -88,8 +94,10 @@ void PostingCursor::SeekLowerBound(DeweySpan target) {
   }
   // Skip-table walk: first block at or after the current one whose last id
   // reaches the target. Every block passed over is postings the seek never
-  // decoded.
-  const size_t start = block_ == SIZE_MAX ? 0 : block_ + 1;
+  // decoded. With no decoded block (fresh cursor, or after SeekPastBlock
+  // left pos_ mid-list) the walk starts at the block holding pos_ — and
+  // pos_ itself stays a floor, so the seek never moves backwards.
+  const size_t start = block_ == SIZE_MAX ? BlockForIndex(pos_) : block_ + 1;
   size_t lo = start, hi = view_->block_count();
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
@@ -104,10 +112,10 @@ void PostingCursor::SeekLowerBound(DeweySpan target) {
     pos_ = size_;  // past every posting
     return;
   }
-  pos_ = view_->block_id_begin(lo);
+  pos_ = std::max(pos_, view_->block_id_begin(lo));
   LoadBlockForPosition();
   if (!status_.ok()) return;
-  offset_ = scratch_.LowerBoundFrom(target, 0);
+  offset_ = scratch_.LowerBoundFrom(target, offset_);
   pos_ = view_->block_id_begin(lo) + offset_;
 }
 
@@ -119,7 +127,7 @@ bool PostingCursor::SeekToSubtree(DeweySpan prefix) {
   }
   if (block_ == SIZE_MAX ||
       view_->block_last(block_).CompareToSubtree(prefix) < 0) {
-    const size_t start = block_ == SIZE_MAX ? 0 : block_ + 1;
+    const size_t start = block_ == SIZE_MAX ? BlockForIndex(pos_) : block_ + 1;
     size_t lo = start, hi = view_->block_count();
     while (lo < hi) {
       size_t mid = lo + (hi - lo) / 2;
@@ -134,10 +142,10 @@ bool PostingCursor::SeekToSubtree(DeweySpan prefix) {
       pos_ = size_;
       return false;
     }
-    pos_ = view_->block_id_begin(lo);
+    pos_ = std::max(pos_, view_->block_id_begin(lo));
     LoadBlockForPosition();
     if (!status_.ok()) return false;
-    offset_ = scratch_.SubtreeBeginFrom(prefix, 0);
+    offset_ = scratch_.SubtreeBeginFrom(prefix, offset_);
     pos_ = view_->block_id_begin(lo) + offset_;
   } else {
     offset_ = scratch_.SubtreeBeginFrom(prefix, offset_);
@@ -146,6 +154,59 @@ bool PostingCursor::SeekToSubtree(DeweySpan prefix) {
   if (AtEnd()) return false;
   DeweySpan head = Head();
   return head.size > 0 && head.CompareToSubtree(prefix) == 0;
+}
+
+void PostingCursor::EmitWhileDocBelow(uint32_t doc_end, PackedIds* out) {
+  while (!AtEnd()) {
+    DeweySpan head = Head();
+    if (head.size == 0 || head.data[0] >= doc_end) return;
+    out->Add(head);
+    Next();
+  }
+}
+
+size_t PostingCursor::block_count() const {
+  if (view_ != nullptr) return view_->block_count();
+  return (size_ + kPostingBlockSize - 1) / kPostingBlockSize;
+}
+
+size_t PostingCursor::block_index() const {
+  if (view_ != nullptr) return BlockForIndex(pos_);
+  return pos_ / kPostingBlockSize;
+}
+
+DeweySpan PostingCursor::BlockFirst(size_t b) const {
+  if (view_ != nullptr) return view_->block_first(b);
+  return eager_->At(b * kPostingBlockSize);
+}
+
+DeweySpan PostingCursor::BlockLast(size_t b) const {
+  if (view_ != nullptr) return view_->block_last(b);
+  return eager_->At(std::min(size_, (b + 1) * kPostingBlockSize) - 1);
+}
+
+void PostingCursor::SeekPastBlock(size_t b) {
+  if (AtEnd()) return;
+  if (eager_ != nullptr) {
+    pos_ = std::max(pos_, std::min(size_, (b + 1) * kPostingBlockSize));
+    return;
+  }
+  if (b + 1 >= view_->block_count()) {
+    pos_ = size_;
+    return;
+  }
+  const size_t target = view_->block_id_begin(b + 1);
+  if (target <= pos_) return;
+  // One skip hit per block jumped over without a decode (the block holding
+  // pos_ counts unless it is the one already decoded).
+  const size_t from = block_index();
+  SkipHitsCounter()->Add(b + 1 - from - (from == block_ ? 1 : 0));
+  pos_ = target;
+  // Drop the decoded-block association: pos_ now sits in an undecoded
+  // block, and the seeks above re-anchor from pos_ when block_ is unset.
+  block_ = SIZE_MAX;
+  offset_ = 0;
+  scratch_.Clear();
 }
 
 void PostingCursor::EmitAll(PackedIds* out) {

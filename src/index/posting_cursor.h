@@ -55,6 +55,28 @@ class PostingCursor {
   /// leaves the cursor at the end.
   void EmitAll(PackedIds* out);
 
+  /// Appends ids in document order while the head's document component
+  /// (first path component) stays below `doc_end`, leaving the cursor on
+  /// the first id at or past document `doc_end` (or at the end).
+  void EmitWhileDocBelow(uint32_t doc_end, PackedIds* out);
+
+  /// Block addressing for top-k evaluation. Both backends are viewed in
+  /// kPostingBlockSize-id blocks — the same fixed blocking the encoder
+  /// uses — so indices align entry-for-entry with
+  /// PostingList::rank_bounds(). BlockFirst/BlockLast answer from the skip
+  /// table (block-backed) or the array (eager); no payload decode.
+  size_t block_count() const;
+  /// Block holding the current position. Must not be called when AtEnd().
+  size_t block_index() const;
+  DeweySpan BlockFirst(size_t b) const;
+  DeweySpan BlockLast(size_t b) const;
+
+  /// Jumps to the first id of the block after `b` (>= the block holding
+  /// the current position) WITHOUT decoding anything in between — the
+  /// top-k bound-skip primitive. Past the last block the cursor reads
+  /// AtEnd. Never moves backwards.
+  void SeekPastBlock(size_t b);
+
   /// OK unless a lazily decoded block turned out corrupt — the cursor then
   /// reports end-of-list and this carries the decode error.
   Status status() const { return status_; }
@@ -65,6 +87,9 @@ class PostingCursor {
   /// failure sets status_ and clamps size_ so the cursor reads AtEnd.
   /// (Mutable/const because Head() triggers it lazily.)
   void LoadBlockForPosition() const;
+
+  /// Last block whose first id index is <= `pos` (block-backed only).
+  size_t BlockForIndex(size_t pos) const;
 
   const PackedIds* eager_ = nullptr;  // exactly one backend is set
   const BlockPostingsView* view_ = nullptr;

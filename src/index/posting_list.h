@@ -126,6 +126,25 @@ class PackedIds {
 
 class BlockPostingsView;  // posting_blocks.h
 
+/// Fixed-point scale of BlockRankBound::weight_scaled: 65536 == weight 1.0.
+inline constexpr uint32_t kRankWeightOne = 65536;
+
+/// Per-posting-block upper bound on rank potential (format v2 rank_bounds
+/// section): the maximum per-occurrence term weight of any id in the block
+/// (fixed-point, ceil-rounded so the stored bound never under-states the
+/// true weight) plus the block's depth envelope. A missing section reads
+/// as weight 1.0 — the unconditional bound — so bounds are always sound,
+/// only sometimes loose.
+struct BlockRankBound {
+  uint32_t weight_scaled = kRankWeightOne;
+  uint32_t min_depth = 0;
+  uint32_t max_depth = 0;
+
+  double weight() const {
+    return static_cast<double>(weight_scaled) / kRankWeightOne;
+  }
+};
+
 /// One keyword's inverted list: document-ordered, duplicate-free Dewey ids
 /// of the nodes whose directly-contained text (or tag name) matches the
 /// keyword. Built in arbitrary order, then finalized once.
@@ -226,6 +245,16 @@ class PostingList {
   /// Encodes as a block-postings blob (format v2; see posting_blocks.h).
   void EncodeBlocksTo(std::string* dst) const;
 
+  /// Per-block rank bounds (one entry per kPostingBlockSize-id block, the
+  /// same fixed blocking both backends use). Empty when the index carries
+  /// no rank_bounds section — readers must then assume weight 1.0.
+  const std::vector<BlockRankBound>& rank_bounds() const {
+    return rank_bounds_;
+  }
+  void set_rank_bounds(std::vector<BlockRankBound> bounds) {
+    rank_bounds_ = std::move(bounds);
+  }
+
   /// Forces a block-backed list into its eager form now and detaches the
   /// encoded blob — the eager deserialization path calls this before the
   /// backing buffer goes away.
@@ -242,6 +271,9 @@ class PostingList {
 
   mutable PackedIds ids_;
   std::unique_ptr<BlockBacking> backing_;
+  // By value (not derived from backing_): bounds must survive
+  // Materialize(), which detaches the encoded blob.
+  std::vector<BlockRankBound> rank_bounds_;
   bool finalized_ = false;
 };
 

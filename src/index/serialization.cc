@@ -21,6 +21,7 @@ enum SectionId : uint32_t {
   kSectionNodes = 2,
   kSectionAttributes = 3,
   kSectionInverted = 4,
+  kSectionRankBounds = 5,
 };
 
 constexpr uint32_t kFlagLz = 1u << 0;
@@ -35,6 +36,8 @@ const char* SectionName(uint32_t id) {
       return "attributes";
     case kSectionInverted:
       return "inverted";
+    case kSectionRankBounds:
+      return "rank_bounds";
     default:
       return "unknown";
   }
@@ -120,6 +123,16 @@ Status ParseV2SectionTable(std::string_view file,
   return Status::OK();
 }
 
+// Finds section `id` in the table, or nullptr when absent. For sections
+// that are optional by design (rank_bounds: pre-PR 7 v2 files lack it).
+const SectionEntry* FindOptionalSection(const std::vector<SectionEntry>& table,
+                                        uint32_t id) {
+  for (const SectionEntry& entry : table) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
 // Finds the (required) section `id` in the table.
 Status FindSection(const std::vector<SectionEntry>& table, uint32_t id,
                    SectionEntry* out) {
@@ -157,7 +170,7 @@ std::string SerializeIndexV1(const XmlIndex& index) {
   return out;
 }
 
-std::string SerializeIndexV2(const XmlIndex& index) {
+std::string SerializeIndexV2(const XmlIndex& index, bool include_bounds) {
   // Encode each payload first, then lay the file out as
   // magic | count | table | payloads.
   std::string catalog;
@@ -176,18 +189,28 @@ std::string SerializeIndexV2(const XmlIndex& index) {
   std::string inverted;
   index.inverted.EncodeToBlocks(&inverted);
 
+  // Raw like the inverted section: the varint triples are already dense,
+  // and top-k evaluation reads them straight from the mapping.
+  std::string rank_bounds;
+  if (include_bounds) {
+    index.inverted.EncodeRankBoundsTo(index.nodes, &rank_bounds);
+  }
+
   struct Pending {
     uint32_t id;
     uint32_t flags;
     const std::string* payload;
   };
-  const Pending sections[] = {
+  std::vector<Pending> sections = {
       {kSectionCatalog, 0, &catalog},
       {kSectionNodes, kFlagLz, &nodes},
       {kSectionAttributes, kFlagLz, &attrs},
       {kSectionInverted, 0, &inverted},
   };
-  const size_t section_count = sizeof(sections) / sizeof(sections[0]);
+  if (include_bounds) {
+    sections.push_back({kSectionRankBounds, 0, &rank_bounds});
+  }
+  const size_t section_count = sections.size();
 
   std::string out;
   out.append(kMagicV2);
@@ -261,6 +284,18 @@ Result<XmlIndex> DeserializeIndexV2(std::string_view bytes) {
   if (!payload.empty()) {
     return Status::Corruption("trailing bytes after inverted index section");
   }
+
+  // Optional since PR 7: older v2 files simply lack the section, which
+  // leaves every list without bounds (treated as +inf by the evaluator).
+  // Applied before MaterializeAll so validation can still cross-check the
+  // skip tables.
+  if (const SectionEntry* bounds =
+          FindOptionalSection(table, kSectionRankBounds)) {
+    GKS_RETURN_IF_ERROR(UnwrapSection(bounds->PayloadIn(bytes), bounds->lz(),
+                                      &storage, &payload));
+    GKS_RETURN_IF_ERROR(index.inverted.ApplyRankBounds(payload));
+  }
+
   // The lists' block views point into `bytes`, which dies with the caller:
   // force them eager while the views are still valid.
   index.inverted.MaterializeAll();
@@ -273,8 +308,18 @@ Result<XmlIndex> DeserializeIndexV2(std::string_view bytes) {
 
 std::string SerializeIndex(const XmlIndex& index, IndexFormat format) {
   WallTimer timer;
-  std::string out = format == IndexFormat::kV1 ? SerializeIndexV1(index)
-                                               : SerializeIndexV2(index);
+  std::string out;
+  switch (format) {
+    case IndexFormat::kV1:
+      out = SerializeIndexV1(index);
+      break;
+    case IndexFormat::kV2NoRankBounds:
+      out = SerializeIndexV2(index, /*include_bounds=*/false);
+      break;
+    case IndexFormat::kV2:
+      out = SerializeIndexV2(index, /*include_bounds=*/true);
+      break;
+  }
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetCounter("gks.index.serialize.bytes_total")->Add(out.size());
   registry.GetHistogram("gks.index.serialize.latency_ms")
@@ -359,6 +404,11 @@ Result<XmlIndex> LoadIndexMapped(const std::string& path) {
   index.attributes.AttachEncoded(entry.PayloadIn(bytes), entry.lz(), file);
   GKS_RETURN_IF_ERROR(FindSection(table, kSectionInverted, &entry));
   index.inverted.AttachEncoded(entry.PayloadIn(bytes), entry.lz(), file);
+  if (const SectionEntry* bounds =
+          FindOptionalSection(table, kSectionRankBounds)) {
+    index.inverted.AttachRankBounds(bounds->PayloadIn(bytes), bounds->lz(),
+                                    file);
+  }
 
   index.epoch = NextIndexEpoch();
 

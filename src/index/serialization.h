@@ -28,10 +28,21 @@ namespace gks {
 ///     table and attribute directory are LZ-wrapped v1 payloads; the
 ///     inverted index uses the block-postings encoding (posting_blocks.h)
 ///     and stays uncompressed so individual blocks decode straight from
-///     the mapped bytes; the catalog is raw (too small to benefit).
+///     the mapped bytes; the catalog is raw (too small to benefit). Since
+///     PR 7 the writer also emits a rank_bounds section (per-block rank
+///     upper bounds, block_max.h) that powers top-k early termination;
+///     the section is OPTIONAL on read — a v2 file without it loads and
+///     serves with the bounds treated as +inf (weight 1.0).
+///
+///   kV2NoRankBounds: writer-only knob producing a v2 file WITHOUT the
+///     rank_bounds section — the exact byte stream pre-PR 7 writers
+///     produced, for the backward-compat pin and for files older binaries
+///     must read without surprises. Readers sniff the magic, so there is
+///     no separate reader for it.
 enum class IndexFormat {
   kV1 = 1,
   kV2 = 2,
+  kV2NoRankBounds = 3,
 };
 
 /// Writers default to the current format.
@@ -58,7 +69,8 @@ Result<XmlIndex> LoadIndexMapped(const std::string& path);
 
 /// Per-section byte accounting for `gks stats` and the size benches.
 struct IndexSectionInfo {
-  std::string name;      // "catalog" | "nodes" | "attributes" | "inverted"
+  std::string name;  // "catalog" | "nodes" | "attributes" | "inverted" |
+                     // "rank_bounds"
   uint64_t bytes = 0;    // on-disk payload bytes (after compression)
   bool compressed = false;  // LZ-wrapped on disk
 };

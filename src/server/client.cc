@@ -79,13 +79,15 @@ Result<JsonValue> ServerConnection::Call(const std::string& request_json) {
 
 Result<JsonValue> ServerConnection::Query(const std::string& query_text,
                                           uint32_t s, size_t top,
-                                          const std::string& plan) {
+                                          const std::string& plan,
+                                          uint32_t top_k) {
   JsonWriter json;
   json.BeginObject();
   json.Key("query").String(query_text);
   json.Key("s").UInt(s);
   json.Key("top").UInt(top);
   if (!plan.empty()) json.Key("plan").String(plan);
+  if (top_k > 0) json.Key("top_k").UInt(top_k);
   json.EndObject();
   return Call(json.str());
 }
@@ -149,7 +151,8 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
         ++result.report.sent;
         WallTimer request_timer;
         Result<JsonValue> response =
-            connection->Query(query, options.s, options.top, options.plan);
+            connection->Query(query, options.s, options.top, options.plan,
+                              options.top_k);
         result.latencies_ms.push_back(request_timer.ElapsedMillis());
         if (!response.ok()) {
           ++result.report.transport_failures;

@@ -30,9 +30,12 @@ class ServerConnection {
   Result<JsonValue> Call(const std::string& request_json);
 
   /// Convenience wrappers over Call. A non-empty `plan` is forwarded as
-  /// the wire `plan` field (execution-strategy override, docs/SERVER.md).
+  /// the wire `plan` field (execution-strategy override, docs/SERVER.md);
+  /// a non-zero `top_k` as the `top_k` field (early-terminating k-best
+  /// evaluation).
   Result<JsonValue> Query(const std::string& query_text, uint32_t s = 1,
-                          size_t top = 10, const std::string& plan = "");
+                          size_t top = 10, const std::string& plan = "",
+                          uint32_t top_k = 0);
   Result<JsonValue> Admin(const std::string& verb,
                           const std::string& reload_path = "");
 
@@ -84,6 +87,9 @@ struct LoadOptions {
   /// Execution-strategy override sent with every request ("" = omit the
   /// field, i.e. server-side auto).
   std::string plan;
+  /// Sent as the wire `top_k` field when non-zero (0 = omit: full
+  /// evaluation).
+  uint32_t top_k = 0;
 };
 
 /// Runs the load: `connections` threads, each with its own connection,

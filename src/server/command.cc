@@ -42,10 +42,11 @@ int ClientUsage() {
       stderr,
       "usage: gks client [--host=H] [--port=N]\n"
       "        --admin=health|metrics|stats|reload|quit [--path=P]\n"
-      "      | --query=\"<query>\" [--s=N] [--top=N] [--explain]\n"
+      "      | --query=\"<query>\" [--s=N] [--top=N] [--top-k=K] [--explain]\n"
       "        [--plan=auto|merge|probe|hybrid]\n"
       "      | --queries=FILE [--connections=C] [--requests=N]\n"
-      "        [--s=N] [--top=N] [--plan=auto|merge|probe|hybrid]\n");
+      "        [--s=N] [--top=N] [--top-k=K] "
+      "[--plan=auto|merge|probe|hybrid]\n");
   return 2;
 }
 
@@ -194,6 +195,10 @@ int RunClientCommand(const FlagParser& flags) {
     request.Key("query").String(flags.GetString("query", ""));
     request.Key("s").UInt(static_cast<uint64_t>(flags.GetInt("s", 1)));
     request.Key("top").UInt(static_cast<uint64_t>(flags.GetInt("top", 10)));
+    if (flags.GetInt("top-k", 0) > 0) {
+      request.Key("top_k")
+          .UInt(static_cast<uint64_t>(flags.GetInt("top-k", 0)));
+    }
     if (flags.GetBool("explain")) request.Key("explain").Bool(true);
     if (flags.Has("plan")) {
       request.Key("plan").String(flags.GetString("plan", "auto"));
@@ -260,6 +265,7 @@ int RunClientCommand(const FlagParser& flags) {
         static_cast<size_t>(flags.GetInt("requests", 100));
     options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
     options.top = static_cast<size_t>(flags.GetInt("top", 10));
+    options.top_k = static_cast<uint32_t>(flags.GetInt("top-k", 0));
     if (flags.Has("plan")) options.plan = flags.GetString("plan", "auto");
     for (std::string& line : SplitString(text, '\n')) {
       size_t begin = line.find_first_not_of(" \t\r");

@@ -7,8 +7,9 @@ namespace {
 
 /// Fields a query request may carry; anything else is a bad_request.
 bool IsKnownQueryField(std::string_view key) {
-  return key == "query" || key == "s" || key == "top" || key == "di" ||
-         key == "refine" || key == "explain" || key == "plan" || key == "id";
+  return key == "query" || key == "s" || key == "top" || key == "top_k" ||
+         key == "di" || key == "refine" || key == "explain" ||
+         key == "plan" || key == "id";
 }
 
 /// Fields an admin request may carry.
@@ -105,6 +106,13 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       return Status::InvalidArgument("'top' must be a non-negative integer");
     }
     request.options.max_results = static_cast<size_t>(top->GetInt());
+  }
+  if (const JsonValue* top_k = root.Find("top_k")) {
+    if (!top_k->is_int() || top_k->GetInt() < 0) {
+      return Status::InvalidArgument(
+          "'top_k' must be a non-negative integer");
+    }
+    request.options.top_k = static_cast<uint32_t>(top_k->GetInt());
   }
   if (const JsonValue* di = root.Find("di")) {
     if (!di->is_int() || di->GetInt() < 0) {

@@ -3,9 +3,11 @@
 // written by an older build, and must answer queries identically to a
 // freshly built format-v2 index of the same document.
 
+#include <algorithm>
 #include <string>
 
 #include "gtest/gtest.h"
+#include "index/posting_list.h"
 #include "index/serialization.h"
 #include "tests/test_util.h"
 #include "xml/sax_parser.h"
@@ -72,6 +74,64 @@ TEST(GoldenIndexTest, GoldenFileIsUnchangedByteForByte) {
   ASSERT_TRUE(status.ok()) << status.ToString();
   ASSERT_GE(bytes.size(), 8u);
   EXPECT_EQ(bytes.substr(0, 8), "GKSIDX01");
+}
+
+// The second pin: a v2 file WITHOUT the rank_bounds section — the exact
+// byte stream pre-rank-bounds v2 writers produced. Both decode paths must
+// keep accepting it (the section is optional by design), with the bounds
+// read as absent, and answer queries identically to a fresh index.
+TEST(GoldenIndexTest, V2NoBoundsGoldenFileLoadsOnBothPaths) {
+  const std::string path =
+      std::string(kGoldenDir) + "/library_v2_nobounds.gksidx";
+  XmlIndex fresh = BuildFreshIndex();
+
+  Result<XmlIndex> eager = LoadIndex(path);
+  Result<XmlIndex> mapped = LoadIndexMapped(path);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  SearchOptions options;
+  options.s = 2;
+  for (XmlIndex* loaded : {&*eager, &*mapped}) {
+    EXPECT_EQ(loaded->inverted.term_count(), fresh.inverted.term_count());
+    EXPECT_EQ(loaded->inverted.posting_count(),
+              fresh.inverted.posting_count());
+    for (const char* query : {"peter buneman", "xml data", "author year"}) {
+      SearchResponse want = SearchOrDie(fresh, query, options);
+      SearchResponse got = SearchOrDie(*loaded, query, options);
+      ASSERT_EQ(want.nodes.size(), got.nodes.size()) << query;
+      for (size_t i = 0; i < want.nodes.size(); ++i) {
+        EXPECT_EQ(want.nodes[i].id, got.nodes[i].id) << query;
+        EXPECT_DOUBLE_EQ(want.nodes[i].rank, got.nodes[i].rank) << query;
+      }
+    }
+  }
+
+  // Absent section => absent bounds (+inf to the evaluator), and top-k
+  // queries still answer exactly.
+  const PostingList* list = eager->inverted.Find("xml");
+  ASSERT_NE(list, nullptr);
+  EXPECT_TRUE(list->rank_bounds().empty());
+  SearchOptions topk = options;
+  topk.top_k = 2;
+  SearchResponse full = SearchOrDie(*eager, "xml data", options);
+  SearchResponse bounded = SearchOrDie(*eager, "xml data", topk);
+  ASSERT_EQ(bounded.nodes.size(), std::min<size_t>(2, full.nodes.size()));
+  for (size_t i = 0; i < bounded.nodes.size(); ++i) {
+    EXPECT_EQ(bounded.nodes[i].id, full.nodes[i].id);
+  }
+}
+
+TEST(GoldenIndexTest, V2NoBoundsGoldenFileHasNoRankBoundsSection) {
+  const std::string path =
+      std::string(kGoldenDir) + "/library_v2_nobounds.gksidx";
+  Result<IndexFileInfo> info = InspectIndexFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, 2);
+  ASSERT_EQ(info->sections.size(), 4u);
+  for (const IndexSectionInfo& section : info->sections) {
+    EXPECT_NE(section.name, "rank_bounds");
+  }
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "index/posting_blocks.h"
 
+#include <algorithm>
 #include <memory>
 #include <random>
 #include <string>
@@ -244,6 +245,129 @@ TEST(PostingBlocksTest, CursorSeeksMatchEagerCursor) {
     }
     EXPECT_EQ(a.AtEnd(), b.AtEnd());
     EXPECT_TRUE(a.status().ok()) << a.status().message();
+  }
+}
+
+// ---- block addressing / top-k skip primitives -------------------------
+
+// Multi-document id set: leading component is the document ordinal, so
+// EmitWhileDocBelow and the top-k segment windows have real boundaries.
+PackedIds MultiDocIds(std::mt19937* rng, size_t docs, size_t per_doc) {
+  PostingList list;
+  for (uint32_t doc = 0; doc < docs; ++doc) {
+    for (size_t i = 0; i < per_doc; ++i) {
+      std::vector<uint32_t> comps = {doc};
+      size_t depth = 1 + (*rng)() % 4;
+      for (size_t d = 0; d < depth; ++d) comps.push_back((*rng)() % 50);
+      list.Add(DeweyId(comps));
+    }
+  }
+  list.Finalize();
+  PackedIds out;
+  for (size_t i = 0; i < list.size(); ++i) out.Add(list.At(i));
+  return out;
+}
+
+TEST(PostingBlocksTest, CursorBlockAddressingMatchesOracle) {
+  std::mt19937 rng(53);
+  for (size_t n : {1ul, 128ul, 129ul, 700ul}) {
+    PackedIds ids = RandomSortedIds(&rng, n);
+    PostingList blocked = BlockBackedList(EncodeToBlob(ids));
+    PostingList eager;
+    for (size_t i = 0; i < ids.size(); ++i) eager.Add(ids.IdAt(i));
+    eager.Finalize();
+
+    const size_t want_blocks =
+        (ids.size() + kPostingBlockSize - 1) / kPostingBlockSize;
+    for (const PostingList* list : {&blocked, &eager}) {
+      PostingCursor cursor(*list);
+      ASSERT_EQ(cursor.block_count(), want_blocks) << "n=" << n;
+      for (size_t b = 0; b < want_blocks; ++b) {
+        const size_t first = b * kPostingBlockSize;
+        const size_t last = std::min(first + kPostingBlockSize, ids.size()) - 1;
+        EXPECT_EQ(cursor.BlockFirst(b).Compare(ids.At(first)), 0) << b;
+        EXPECT_EQ(cursor.BlockLast(b).Compare(ids.At(last)), 0) << b;
+      }
+      // block_index tracks the scan position without decoding ahead.
+      for (size_t i = 0; i < ids.size(); i += 37) {
+        while (cursor.position() < i) cursor.Next();
+        EXPECT_EQ(cursor.block_index(), i / kPostingBlockSize) << i;
+      }
+    }
+  }
+}
+
+TEST(PostingBlocksTest, CursorSeekPastBlockJumpsToNextBlockFirst) {
+  std::mt19937 rng(59);
+  PackedIds ids = RandomSortedIds(&rng, 1000);  // 8 blocks
+  PostingList blocked = BlockBackedList(EncodeToBlob(ids));
+  PostingList eager;
+  for (size_t i = 0; i < ids.size(); ++i) eager.Add(ids.IdAt(i));
+  eager.Finalize();
+
+  for (const PostingList* list : {&blocked, &eager}) {
+    PostingCursor cursor(*list);
+    // Jump block to block: each landing must be the next block's first id.
+    while (!cursor.AtEnd()) {
+      const size_t b = cursor.block_index();
+      cursor.SeekPastBlock(b);
+      if ((b + 1) * kPostingBlockSize >= ids.size()) {
+        EXPECT_TRUE(cursor.AtEnd());
+      } else {
+        ASSERT_FALSE(cursor.AtEnd());
+        EXPECT_EQ(cursor.position(), (b + 1) * kPostingBlockSize);
+        EXPECT_EQ(cursor.Head().Compare(ids.At(cursor.position())), 0);
+      }
+    }
+    EXPECT_TRUE(cursor.status().ok());
+  }
+
+  // A seek issued right after a block jump must continue from the landing
+  // point, never rewind into the skipped region.
+  PostingCursor cursor(blocked);
+  cursor.SeekPastBlock(1);  // lands at ids[256]
+  ASSERT_EQ(cursor.position(), 2 * kPostingBlockSize);
+  cursor.SeekLowerBound(ids.At(10));  // target far behind: must not move
+  EXPECT_EQ(cursor.position(), 2 * kPostingBlockSize);
+  cursor.SeekLowerBound(ids.At(2 * kPostingBlockSize + 50));
+  EXPECT_EQ(cursor.position(), 2 * kPostingBlockSize + 50);
+  EXPECT_EQ(cursor.Head().Compare(ids.At(cursor.position())), 0);
+}
+
+TEST(PostingBlocksTest, CursorEmitWhileDocBelowMatchesOracle) {
+  std::mt19937 rng(61);
+  PackedIds ids = MultiDocIds(&rng, 10, 60);
+  PostingList blocked = BlockBackedList(EncodeToBlob(ids));
+  PostingList eager;
+  for (size_t i = 0; i < ids.size(); ++i) eager.Add(ids.IdAt(i));
+  eager.Finalize();
+
+  for (uint32_t doc_end = 0; doc_end <= 11; ++doc_end) {
+    for (const PostingList* list : {&blocked, &eager}) {
+      PostingCursor cursor(*list);
+      PackedIds emitted;
+      cursor.EmitWhileDocBelow(doc_end, &emitted);
+      size_t want = 0;
+      while (want < ids.size() && ids.At(want).data[0] < doc_end) ++want;
+      ASSERT_EQ(emitted.size(), want) << "doc_end=" << doc_end;
+      for (size_t i = 0; i < want; ++i) {
+        ASSERT_EQ(emitted.At(i).Compare(ids.At(i)), 0);
+      }
+      if (want < ids.size()) {
+        ASSERT_FALSE(cursor.AtEnd());
+        EXPECT_EQ(cursor.position(), want);
+      } else {
+        EXPECT_TRUE(cursor.AtEnd());
+      }
+      // A second call with a later bound resumes where the first stopped.
+      PackedIds more;
+      cursor.EmitWhileDocBelow(doc_end + 3, &more);
+      size_t want2 = want;
+      while (want2 < ids.size() && ids.At(want2).data[0] < doc_end + 3) {
+        ++want2;
+      }
+      ASSERT_EQ(more.size(), want2 - want);
+    }
   }
 }
 

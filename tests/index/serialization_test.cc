@@ -1,8 +1,10 @@
 #include "index/serialization.h"
 
 #include "gtest/gtest.h"
+#include "common/varint.h"
 #include "core/result_cache.h"
 #include "data/figures.h"
+#include "index/posting_list.h"
 #include "tests/test_util.h"
 
 namespace gks {
@@ -217,12 +219,178 @@ TEST(SerializationTest, InspectReportsSectionsForBothFormats) {
   Result<IndexFileInfo> v2 = InspectIndexFile(dir + "/inspect_v2.idx");
   ASSERT_TRUE(v2.ok()) << v2.status().ToString();
   EXPECT_EQ(v2->version, 2);
-  ASSERT_EQ(v2->sections.size(), 4u);
+  ASSERT_EQ(v2->sections.size(), 5u);
   EXPECT_EQ(v2->sections[0].name, "catalog");
   EXPECT_EQ(v2->sections[1].name, "nodes");
   EXPECT_TRUE(v2->sections[1].compressed);
   EXPECT_EQ(v2->sections[3].name, "inverted");
   EXPECT_FALSE(v2->sections[3].compressed);
+  EXPECT_EQ(v2->sections[4].name, "rank_bounds");
+  EXPECT_FALSE(v2->sections[4].compressed);
+  EXPECT_GT(v2->sections[4].bytes, 0u);
+}
+
+TEST(SerializationTest, InspectReportsNoRankBoundsSectionWhenOmitted) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  std::string path = ::testing::TempDir() + "/inspect_v2nb.idx";
+  ASSERT_TRUE(SaveIndex(original, path, IndexFormat::kV2NoRankBounds).ok());
+  Result<IndexFileInfo> info = InspectIndexFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, 2);
+  ASSERT_EQ(info->sections.size(), 4u);
+  for (const IndexSectionInfo& section : info->sections) {
+    EXPECT_NE(section.name, "rank_bounds");
+  }
+}
+
+// A v2 file without the rank_bounds section (any pre-rank-bounds writer,
+// or today's kV2NoRankBounds knob) must load and serve identically; the
+// evaluator treats the missing bounds as +inf.
+TEST(SerializationTest, V2WithoutRankBoundsLoadsAndServes) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  std::string nobounds = SerializeIndex(original, IndexFormat::kV2NoRankBounds);
+  ASSERT_EQ(nobounds.substr(0, 8), "GKSIDX02");  // same magic, fewer sections
+
+  Result<XmlIndex> with = DeserializeIndex(SerializeIndex(original));
+  Result<XmlIndex> without = DeserializeIndex(nobounds);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+
+  const PostingList* bounded = with->inverted.Find("karen");
+  const PostingList* unbounded = without->inverted.Find("karen");
+  ASSERT_NE(bounded, nullptr);
+  ASSERT_NE(unbounded, nullptr);
+  EXPECT_FALSE(bounded->rank_bounds().empty());
+  EXPECT_TRUE(unbounded->rank_bounds().empty());
+
+  SearchOptions options;
+  options.s = 2;
+  options.top_k = 3;  // the top-k evaluator must cope with absent bounds
+  SearchResponse want = SearchOrDie(*with, "student karen mike", options);
+  SearchResponse got = SearchOrDie(*without, "student karen mike", options);
+  ASSERT_EQ(want.nodes.size(), got.nodes.size());
+  for (size_t i = 0; i < want.nodes.size(); ++i) {
+    EXPECT_EQ(want.nodes[i].id, got.nodes[i].id);
+    EXPECT_DOUBLE_EQ(want.nodes[i].rank, got.nodes[i].rank);
+  }
+}
+
+// ---- rank_bounds decoder hardening -----------------------------------
+//
+// The decoder (InvertedIndex::ApplyRankBounds) must turn every structural
+// defect into a Corruption status naming the section byte offset — never
+// a crash, never silently wrong bounds.
+
+// Hand-built payloads against a tiny index hit each validation rule. Tag
+// names are searchable keywords, so the index holds three terms — in lex
+// order "karen", "r", "t" — and the decoder walks them in that order,
+// failing at the first defect; damaging the leading term's entry is
+// enough to reach every rule.
+TEST(SerializationTest, RankBoundsDecoderRejectsStructuralDamage) {
+  XmlIndex index = BuildIndexFromXml("<r><t>karen</t></r>");
+  ASSERT_EQ(index.inverted.term_count(), 3u);
+
+  auto expect_corrupt = [&index](const std::string& payload,
+                                 const std::string& needle) {
+    Status status = index.inverted.ApplyRankBounds(payload);
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << needle;
+    EXPECT_NE(status.ToString().find(needle), std::string::npos)
+        << status.ToString();
+    EXPECT_NE(status.ToString().find("at section byte"), std::string::npos)
+        << status.ToString();
+  };
+
+  expect_corrupt("", "truncated");
+
+  std::string wrong_terms;
+  PutVarint64(&wrong_terms, 2);
+  expect_corrupt(wrong_terms, "terms");
+
+  std::string wrong_blocks;
+  PutVarint64(&wrong_blocks, 3);
+  PutVarint64(&wrong_blocks, 7);  // each one-id list has exactly one block
+  expect_corrupt(wrong_blocks, "block count");
+
+  // Correct term count, one-block entry for the first term ("karen") with
+  // the damaged field; the decoder errors there before touching the rest.
+  auto first_block = [](uint32_t weight, uint32_t min_depth,
+                        uint32_t max_depth) {
+    std::string payload;
+    PutVarint64(&payload, 3);
+    PutVarint64(&payload, 1);
+    PutVarint32(&payload, weight);
+    PutVarint32(&payload, min_depth);
+    PutVarint32(&payload, max_depth);
+    return payload;
+  };
+  expect_corrupt(first_block(0, 1, 8), "weight");
+  expect_corrupt(first_block(kRankWeightOne + 1, 1, 8), "weight");
+  expect_corrupt(first_block(kRankWeightOne, 6, 2), "depth range inverted");
+
+  std::string truncated = first_block(kRankWeightOne, 1, 8);
+  truncated.resize(truncated.size() - 1);
+  expect_corrupt(truncated, "truncated");
+
+  // The intact payload (as the writer produces it) applies cleanly; with
+  // any extra byte appended it must be rejected, not ignored.
+  std::string good;
+  index.inverted.EncodeRankBoundsTo(index.nodes, &good);
+  expect_corrupt(good + "x", "trailing bytes");
+  EXPECT_TRUE(index.inverted.ApplyRankBounds(good).ok());
+}
+
+// Single-byte fuzz over the on-disk section: every mutation must either
+// load fine (the bound happens to stay structurally valid) or fail with
+// Corruption — never crash, never mis-parse neighbouring sections.
+TEST(SerializationTest, RankBoundsSectionSurvivesSingleByteFuzz) {
+  XmlIndex original = BuildIndexFromXml(data::Figure2aXml());
+  std::string bytes = SerializeIndex(original, IndexFormat::kV2);
+
+  // Locate the rank_bounds payload via the documented v2 header layout:
+  // magic, u32 section count, then 24-byte entries of u32 id, u32 flags,
+  // u64 offset, u64 length (all little-endian).
+  auto fixed32 = [&bytes](size_t pos) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  auto fixed64 = [&bytes](size_t pos) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const uint32_t count = fixed32(8);
+  size_t offset = 0;
+  size_t length = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t entry = 12 + i * 24;
+    if (fixed32(entry) == 5) {  // kSectionRankBounds
+      offset = fixed64(entry + 8);
+      length = fixed64(entry + 16);
+    }
+  }
+  ASSERT_GT(length, 0u) << "rank_bounds section not found";
+
+  size_t rejected = 0;
+  for (size_t i = 0; i < length; ++i) {
+    std::string mutated = bytes;
+    mutated[offset + i] = static_cast<char>(0xFF);
+    Result<XmlIndex> loaded = DeserializeIndex(mutated);
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+          << "byte " << i << ": " << loaded.status().ToString();
+      ++rejected;
+    }
+  }
+  // The leading term count is always load-bearing, so at least one byte
+  // flip must have been caught.
+  EXPECT_GT(rejected, 0u);
 }
 
 TEST(SerializationTest, V2RejectsTruncationEverywhere) {

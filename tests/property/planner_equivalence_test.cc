@@ -7,6 +7,7 @@
 // events instead of a streamed S_L), so this is the contract that lets
 // the planner switch freely at query time.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -117,6 +118,63 @@ TEST_P(PlannerEquivalence, AllStrategiesAndBackendsAgree) {
       }
       ExpectIdentical(expected, Run(mapped_, text, s, PlanMode::kMerge),
                       "mapped '" + text + "' merge");
+    }
+  }
+}
+
+// Top-k early termination must be invisible except for the truncation:
+// for every strategy, both backends, and every k, the k returned nodes
+// are bit-identical to the full response's first k (same order, same
+// ranks) — including k = 1 and k past the end of the result list. The
+// block-max evaluator replaces the whole scan, so this is the property
+// that makes `--top-k` safe to enable anywhere.
+TEST_P(PlannerEquivalence, TopKMatchesFullScoringThenTruncate) {
+  const std::vector<std::string> queries = {
+      "k0 k1 k2 k3",
+      "t1:k2 k4 k6",
+      "\"k1 k3\" k0 k5",
+  };
+  for (const std::string& text : queries) {
+    for (uint32_t s = 1; s <= 3; ++s) {
+      SearchResponse full = Run(eager_, text, s, PlanMode::kMerge);
+      const uint32_t past_end = static_cast<uint32_t>(full.nodes.size()) + 7;
+      for (uint32_t k : {1u, 3u, past_end}) {
+        for (PlanMode plan : {PlanMode::kMerge, PlanMode::kProbe,
+                              PlanMode::kHybrid, PlanMode::kAuto}) {
+          for (const XmlIndex* index : {&eager_, &mapped_}) {
+            GksSearcher searcher(index);
+            SearchOptions options;
+            options.s = s;
+            options.discover_di = false;
+            options.suggest_refinements = false;
+            options.plan = plan;
+            options.top_k = k;
+            Result<SearchResponse> response = searcher.Search(text, options);
+            ASSERT_TRUE(response.ok()) << response.status().ToString();
+            char label[160];
+            std::snprintf(label, sizeof(label),
+                          "'%s' s=%u k=%u plan=%s backend=%s", text.c_str(),
+                          s, k, PlanModeName(plan),
+                          index == &eager_ ? "eager" : "mapped");
+            EXPECT_TRUE(response->plan.topk.engaged) << label;
+            const size_t want =
+                std::min<size_t>(k, full.nodes.size());
+            ASSERT_EQ(response->nodes.size(), want) << label;
+            for (size_t i = 0; i < want; ++i) {
+              const GksNode& expect = full.nodes[i];
+              const GksNode& got = response->nodes[i];
+              EXPECT_EQ(got.id, expect.id) << label << " node " << i;
+              EXPECT_EQ(got.keyword_mask, expect.keyword_mask)
+                  << label << " node " << i;
+              EXPECT_EQ(got.keyword_count, expect.keyword_count)
+                  << label << " node " << i;
+              EXPECT_EQ(got.is_lce, expect.is_lce) << label << " node " << i;
+              EXPECT_DOUBLE_EQ(got.rank, expect.rank)
+                  << label << " node " << i;
+            }
+          }
+        }
+      }
     }
   }
 }

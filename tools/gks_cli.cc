@@ -1,13 +1,14 @@
 // The `gks` command-line tool: build, inspect and query GKS indexes.
 //
-//   gks index  <out.gksidx> <file.xml...> [--threads=N] [--format=v2|v1]
-//   gks search <index.gksidx> "<query>" [--s=N] [--top=N] [--di=M]
+//   gks index  <out.gksidx> <file.xml...> [--threads=N]
+//                                        [--format=v2|v2-nobounds|v1]
+//   gks search <index.gksidx> "<query>" [--s=N] [--top=N] [--top-k=K]
 //                                        [--refine] [--schema-reconcile]
 //                                        [--explain] [--explain-json]
-//                                        [--metrics]
+//                                        [--metrics] [--di=M]
 //   gks batch  <index.gksidx> <queries.txt> [--threads=N] [--cache=CAP]
 //                                        [--repeat=R] [--s=N] [--top=N]
-//                                        [--print] [--metrics]
+//                                        [--top-k=K] [--print] [--metrics]
 //   gks analyze <index.gksidx> "<query>" [--s=N] [--facets]
 //                                        [--agg=TAG] [--hist=TAG:BUCKETS]
 //   gks schema <index.gksidx>                      DataGuide-style dump
@@ -64,16 +65,18 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  gks index  <out.gksidx> <file.xml...> [--threads=N] [--format=v2|v1]\n"
+      "  gks index  <out.gksidx> <file.xml...> [--threads=N]\n"
+      "             [--format=v2|v2-nobounds|v1]\n"
       "  gks search <index.gksidx> \"<query>\" [--s=N] [--top=N] [--di=M]\n"
       "             [--refine] [--schema-reconcile] [--explain] [--chunks=N]\n"
       "             [--explain-json] [--metrics] [--plan=auto|merge|probe|"
       "hybrid]\n"
+      "             [--top-k=K] (early-terminating k-best evaluation)\n"
       "             (keywords may be tag-constrained: year:2001,\n"
       "              author:\"peter buneman\")\n"
       "  gks batch  <index.gksidx> <queries.txt> [--threads=N] [--cache=CAP]\n"
-      "             [--repeat=R] [--s=N] [--top=N] [--print] [--metrics]\n"
-      "             [--plan=auto|merge|probe|hybrid]\n"
+      "             [--repeat=R] [--s=N] [--top=N] [--top-k=K] [--print]\n"
+      "             [--metrics] [--plan=auto|merge|probe|hybrid]\n"
       "             (one query per line; '#' starts a comment)\n"
       "  gks analyze <index.gksidx> \"<query>\" [--s=N] [--facets]\n"
       "             [--agg=TAG] [--hist=TAG:BUCKETS]\n"
@@ -156,9 +159,17 @@ int CmdIndex(const FlagParser& flags) {
   Result<XmlIndex> index = BuildIndexFromArgs(flags, args);
   if (!index.ok()) return Fail(index.status());
   std::string format_name = flags.GetString("format", "v2");
-  if (format_name != "v1" && format_name != "v2") return Usage();
-  IndexFormat format =
-      format_name == "v1" ? IndexFormat::kV1 : IndexFormat::kV2;
+  IndexFormat format;
+  if (format_name == "v1") {
+    format = IndexFormat::kV1;
+  } else if (format_name == "v2") {
+    format = IndexFormat::kV2;
+  } else if (format_name == "v2-nobounds") {
+    // The pre-rank-bounds v2 byte stream (compatibility pins, A/B sizing).
+    format = IndexFormat::kV2NoRankBounds;
+  } else {
+    return Usage();
+  }
   if (Status status = SaveIndex(*index, args[1], format); !status.ok()) {
     return Fail(status);
   }
@@ -193,6 +204,7 @@ int CmdSearch(const FlagParser& flags) {
   SearchOptions options;
   options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
   options.max_results = static_cast<size_t>(flags.GetInt("top", 20));
+  options.top_k = static_cast<uint32_t>(flags.GetInt("top-k", 0));
   options.di_top_m = static_cast<size_t>(flags.GetInt("di", 5));
   // --explain-json documents the full pipeline, so it runs every stage.
   options.suggest_refinements =
@@ -292,6 +304,7 @@ int CmdBatch(const FlagParser& flags) {
   SearchOptions options;
   options.s = static_cast<uint32_t>(flags.GetInt("s", 1));
   options.max_results = static_cast<size_t>(flags.GetInt("top", 20));
+  options.top_k = static_cast<uint32_t>(flags.GetInt("top-k", 0));
   options.di_top_m = static_cast<size_t>(flags.GetInt("di", 5));
   if (!ParsePlanFlag(flags, &options)) return 2;
 
