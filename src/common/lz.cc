@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/simd/kernels.h"
 #include "common/varint.h"
 
 namespace gks {
@@ -109,6 +111,11 @@ Status LzDecompress(std::string_view src, std::string* out) {
   GKS_RETURN_IF_ERROR(GetVarint64(&src, &raw_size));
   const size_t out_base = out->size();
   out->reserve(out_base + raw_size);
+  // Back-reference copies go through the dispatched kernel (bulk vector
+  // copies, pattern doubling for the RLE overlap case) — byte-identical
+  // to the scalar loop on every input.
+  const simd::Kernels& kernels = simd::Active();
+  kernels.lz_calls->Increment();
   while (!src.empty()) {
     uint64_t token = 0;
     GKS_RETURN_IF_ERROR(GetVarint64(&src, &token));
@@ -129,10 +136,16 @@ Status LzDecompress(std::string_view src, std::string* out) {
         return Status::Corruption("lz back-reference out of range at byte " +
                                   std::to_string(offset(src)));
       }
-      // Overlapping copies (dist < len) are the RLE case; byte-by-byte
-      // reproduces the run semantics.
-      size_t from = out->size() - dist;
-      for (uint64_t j = 0; j < len; ++j) out->push_back((*out)[from + j]);
+      // Oversized matches fail here with the same message and byte
+      // offset the post-copy check below reports (nothing is consumed in
+      // between) — and a corrupt length can no longer balloon the output
+      // buffer before being rejected.
+      if (len > raw_size - produced) {
+        return Status::Corruption(
+            "lz output exceeds declared size at byte " +
+            std::to_string(offset(src)));
+      }
+      kernels.lz_match_copy(out, dist, len);
     }
     if (out->size() - out_base > raw_size) {
       return Status::Corruption(

@@ -1,0 +1,39 @@
+#include "common/simd/cpu_features.h"
+
+namespace gks::simd {
+
+const CpuFeatures& CpuFeatures::Get() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    f.sse42 = __builtin_cpu_supports("sse4.2");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.bmi2 = __builtin_cpu_supports("bmi2");
+    f.avx512f = __builtin_cpu_supports("avx512f");
+    f.avx512bw = __builtin_cpu_supports("avx512bw");
+    f.avx512vl = __builtin_cpu_supports("avx512vl");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+std::string CpuFeatures::ToString() const {
+  std::string out;
+  auto add = [&out](bool have, const char* name) {
+    if (!have) return;
+    if (!out.empty()) out.push_back(' ');
+    out += name;
+  };
+  add(sse42, "sse4.2");
+  add(avx2, "avx2");
+  add(bmi2, "bmi2");
+  add(avx512f, "avx512f");
+  add(avx512bw, "avx512bw");
+  add(avx512vl, "avx512vl");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+}  // namespace gks::simd

@@ -1,0 +1,30 @@
+#ifndef GKS_COMMON_SIMD_CPU_FEATURES_H_
+#define GKS_COMMON_SIMD_CPU_FEATURES_H_
+
+#include <string>
+
+namespace gks::simd {
+
+/// Host ISA extensions relevant to the kernel layer, detected once at
+/// first use (GCC/Clang __builtin_cpu_supports, which also verifies OS
+/// xsave support for the AVX families). All false on non-x86 builds —
+/// dispatch then always resolves to the scalar table.
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx2 = false;
+  bool bmi2 = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+
+  static const CpuFeatures& Get();
+
+  /// Space-separated lowercase feature list ("sse4.2 avx2 bmi2 ..."),
+  /// "none" when nothing relevant is present. For `gks stats` and the
+  /// server health payload.
+  std::string ToString() const;
+};
+
+}  // namespace gks::simd
+
+#endif  // GKS_COMMON_SIMD_CPU_FEATURES_H_

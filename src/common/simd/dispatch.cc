@@ -1,0 +1,135 @@
+// Runtime kernel dispatch: build-time availability (did CMake compile the
+// vector TUs?) × host CPU features × the GKS_SIMD environment override
+// resolve, once per process, to the table every hot path fetches.
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/simd/cpu_features.h"
+#include "common/simd/kernels.h"
+#include "common/simd/kernels_entry.h"
+
+namespace gks::simd {
+namespace {
+
+using internal::CountDepthPrefixesScalar;
+using internal::DecodeDeltaIdsScalar;
+using internal::LzMatchCopyScalar;
+using internal::ShiftU32Scalar;
+
+std::atomic<const Kernels*> g_override{nullptr};
+
+// Normalized GKS_SIMD environment value: "off" / "avx2" / "auto".
+const char* EnvRequest() {
+  static const char* request = [] {
+    const char* env = std::getenv("GKS_SIMD");
+    if (env == nullptr || env[0] == '\0') return "auto";
+    const std::string value = env;
+    if (value == "off" || value == "0" || value == "scalar") return "off";
+    if (value == "avx2") return "avx2";
+    return "auto";
+  }();
+  return request;
+}
+
+}  // namespace
+
+const Kernels& Scalar() {
+  static const Kernels table = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    Kernels k;
+    k.level = Level::kScalar;
+    k.name = "scalar";
+    k.decode_delta_ids = DecodeDeltaIdsScalar;
+    k.shift_u32 = ShiftU32Scalar;
+    k.lz_match_copy = LzMatchCopyScalar;
+    k.count_depth_prefixes = CountDepthPrefixesScalar;
+    k.decode_calls =
+        r.GetCounter("gks.search.kernel.posting_decode.scalar_total");
+    k.gather_calls = r.GetCounter("gks.search.kernel.gather.scalar_total");
+    k.lz_calls = r.GetCounter("gks.search.kernel.lz_copy.scalar_total");
+    k.depth_calls =
+        r.GetCounter("gks.search.kernel.depth_count.scalar_total");
+    return k;
+  }();
+  return table;
+}
+
+const Kernels* ForLevel(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &Scalar();
+    case Level::kAvx2:
+#if defined(GKS_SIMD_AVX2)
+      if (!CpuFeatures::Get().avx2) return nullptr;
+      {
+        static const Kernels table = [] {
+          MetricsRegistry& r = MetricsRegistry::Global();
+          Kernels k;
+          k.level = Level::kAvx2;
+          k.name = "avx2";
+          k.decode_delta_ids = internal::DecodeDeltaIdsAvx2;
+          k.shift_u32 = internal::ShiftU32Avx2;
+          k.lz_match_copy = internal::LzMatchCopyAvx2;
+          k.count_depth_prefixes = internal::CountDepthPrefixesAvx2;
+          k.decode_calls =
+              r.GetCounter("gks.search.kernel.posting_decode.simd_total");
+          k.gather_calls =
+              r.GetCounter("gks.search.kernel.gather.simd_total");
+          k.lz_calls = r.GetCounter("gks.search.kernel.lz_copy.simd_total");
+          k.depth_calls =
+              r.GetCounter("gks.search.kernel.depth_count.simd_total");
+          return k;
+        }();
+        return &table;
+      }
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const Kernels& Active() {
+  const Kernels* forced = g_override.load(std::memory_order_relaxed);
+  if (forced != nullptr) return *forced;
+  static const Kernels* chosen = [] {
+    const CpuFeatures& cpu = CpuFeatures::Get();
+    const char* request = EnvRequest();
+    const Kernels* table = &Scalar();
+    if (std::string(request) != "off") {
+      if (const Kernels* avx2 = ForLevel(Level::kAvx2)) table = avx2;
+    }
+    // Publish the dispatch decision and the detected features as gauges
+    // so a node silently running the scalar fallback is visible in any
+    // metrics scrape (docs/OBSERVABILITY.md).
+    MetricsRegistry& r = MetricsRegistry::Global();
+    r.GetGauge("gks.cpu.feature.sse42")->Set(cpu.sse42 ? 1 : 0);
+    r.GetGauge("gks.cpu.feature.avx2")->Set(cpu.avx2 ? 1 : 0);
+    r.GetGauge("gks.cpu.feature.bmi2")->Set(cpu.bmi2 ? 1 : 0);
+    r.GetGauge("gks.cpu.feature.avx512bw")->Set(cpu.avx512bw ? 1 : 0);
+    r.GetGauge("gks.cpu.dispatch_level")
+        ->Set(static_cast<int64_t>(table->level));
+    return table;
+  }();
+  return *chosen;
+}
+
+std::string DispatchDescription() {
+  std::string out = "dispatch=";
+  out += Active().name;
+  out += " (features: ";
+  out += CpuFeatures::Get().ToString();
+  out += "; GKS_SIMD=";
+  out += EnvRequest();
+  out += ")";
+  return out;
+}
+
+void SetActiveForTest(const Kernels* kernels) {
+  g_override.store(kernels, std::memory_order_relaxed);
+}
+
+}  // namespace gks::simd

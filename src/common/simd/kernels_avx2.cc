@@ -1,0 +1,200 @@
+// The AVX2 kernel tier. Compiled with -mavx2 -mbmi2 (this translation
+// unit only — runtime dispatch guarantees it never executes on hosts
+// without AVX2). Every function is bit-identical to its scalar twin: the
+// vector fast paths only engage on input shapes they handle exactly, and
+// everything else drops to the shared scalar building blocks.
+
+#include "common/simd/kernels_entry.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/simd/kernels.h"
+#include "common/simd/kernels_impl.h"
+
+namespace gks::simd::internal {
+namespace {
+
+// Lane masks for _mm256_maskload_epi32: mask_table[m] enables the first
+// m of 8 lanes.
+alignas(32) constexpr int32_t kLaneMask[9][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {-1, 0, 0, 0, 0, 0, 0, 0},
+    {-1, -1, 0, 0, 0, 0, 0, 0},
+    {-1, -1, -1, 0, 0, 0, 0, 0},
+    {-1, -1, -1, -1, 0, 0, 0, 0},
+    {-1, -1, -1, -1, -1, 0, 0, 0},
+    {-1, -1, -1, -1, -1, -1, 0, 0},
+    {-1, -1, -1, -1, -1, -1, -1, 0},
+    {-1, -1, -1, -1, -1, -1, -1, -1},
+};
+
+inline __m256i LoadMask(uint32_t m) {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(kLaneMask[m]));
+}
+
+// Inclusive prefix sum of 8 uint32 lanes (log-step shifts within each
+// 128-bit lane, then the low lane's total folded into the high lane).
+inline __m256i PrefixSumU32(__m256i v) {
+  v = _mm256_add_epi32(v, _mm256_slli_si256(v, 4));
+  v = _mm256_add_epi32(v, _mm256_slli_si256(v, 8));
+  const __m256i low_total =
+      _mm256_permutevar8x32_epi32(v, _mm256_set1_epi32(3));
+  const __m256i upper_only =
+      _mm256_blend_epi32(_mm256_setzero_si256(), low_total, 0xF0);
+  return _mm256_add_epi32(v, upper_only);
+}
+
+}  // namespace
+
+size_t DecodeDeltaIdsAvx2(const uint8_t* p, size_t len, uint32_t count,
+                          std::vector<uint32_t>* comps,
+                          std::vector<uint32_t>* components,
+                          std::vector<uint32_t>* offsets) {
+  const uint8_t* cur = p;
+  const uint8_t* end = p + len;
+  uint32_t i = 1;
+  while (i < count) {
+    // Vector fast path for the dense steady state: 8 consecutive ids that
+    // each share all but the last component with their predecessor and
+    // fit a single-byte delta. Their wire form is 16 bytes of alternating
+    // constant header ((L-1)<<4 | 1) and sub-0x80 delta bytes; the new
+    // last components are then a +1-biased prefix sum — one byte of
+    // varint state per id, no data-dependent branches.
+    const size_t L = comps->size();
+    if (L >= 1 && L <= 15 && count - i >= 8 && end - cur >= 16) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur));
+      if (_mm_movemask_epi8(v) == 0) {  // all 16 bytes single-byte varints
+        const uint8_t want = static_cast<uint8_t>(((L - 1) << 4) | 1);
+        const __m128i evens = _mm_and_si128(v, _mm_set1_epi16(0x00ff));
+        const bool headers_ok =
+            _mm_movemask_epi8(_mm_cmpeq_epi16(
+                evens, _mm_set1_epi16(static_cast<short>(want)))) == 0xffff;
+        if (headers_ok) {
+          // Deltas are the odd bytes; ids are sorted so each stored delta
+          // is value - prev - 1: widen, +1, prefix-sum, rebase on the
+          // predecessor's last component (uint32 wraparound, same as the
+          // scalar chain).
+          __m256i deltas = _mm256_cvtepu16_epi32(_mm_srli_epi16(v, 8));
+          deltas = _mm256_add_epi32(deltas, _mm256_set1_epi32(1));
+          __m256i last = PrefixSumU32(deltas);
+          last = _mm256_add_epi32(
+              last, _mm256_set1_epi32(static_cast<int32_t>((*comps)[L - 1])));
+          alignas(32) uint32_t lane[8];
+          _mm256_store_si256(reinterpret_cast<__m256i*>(lane), last);
+
+          const size_t base = components->size();
+          components->resize(base + 8 * L);
+          uint32_t* dst = components->data() + base;
+          const uint32_t* prefix = comps->data();
+          for (int j = 0; j < 8; ++j) {
+            std::memcpy(dst, prefix, (L - 1) * sizeof(uint32_t));
+            dst[L - 1] = lane[j];
+            dst += L;
+          }
+          const size_t obase = offsets->size();
+          offsets->resize(obase + 8);
+          uint32_t* od = offsets->data() + obase;
+          for (int j = 0; j < 8; ++j) {
+            od[j] = static_cast<uint32_t>(base + (j + 1) * L);
+          }
+          (*comps)[L - 1] = lane[7];
+          cur += 16;
+          i += 8;
+          continue;
+        }
+      }
+    }
+    if (!DecodeOneDeltaId(&cur, end, comps)) return kDecodeError;
+    components->insert(components->end(), comps->begin(), comps->end());
+    offsets->push_back(static_cast<uint32_t>(components->size()));
+    ++i;
+  }
+  return static_cast<size_t>(cur - p);
+}
+
+void ShiftU32Avx2(const uint32_t* src, size_t n, uint32_t delta,
+                  uint32_t* dst) {
+  const __m256i vd = _mm256_set1_epi32(static_cast<int32_t>(delta));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi32(v, vd));
+  }
+  for (; i < n; ++i) dst[i] = src[i] + delta;
+}
+
+void LzMatchCopyAvx2(std::string* out, size_t dist, size_t len) {
+  const size_t cur = out->size();
+  out->resize(cur + len);
+  char* dst = out->data() + cur;
+  const char* src = dst - dist;
+  if (dist >= len) {
+    // Disjoint regions: bulk vector copy, 32-byte chunks then a tail.
+    size_t j = 0;
+    for (; j + 32 <= len; j += 32) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst + j),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + j)));
+    }
+    if (j < len) std::memcpy(dst + j, src + j, len - j);
+    return;
+  }
+  // Overlap (dist < len): the byte loop's semantics are a periodic
+  // extension with period `dist`. Seed one period, then double — every
+  // chunk start stays a multiple of dist, so block copies reproduce the
+  // byte-by-byte result exactly.
+  std::memcpy(dst, src, dist);
+  size_t avail = dist;
+  while (avail < len) {
+    const size_t n = std::min(avail, len - avail);
+    std::memcpy(dst + avail, dst, n);
+    avail += n;
+  }
+}
+
+void CountDepthPrefixesAvx2(const uint32_t* components,
+                            const uint32_t* offsets, size_t lo, size_t hi,
+                            const uint32_t* path, uint32_t depth,
+                            uint64_t* totals) {
+  if (depth == 0 || lo >= hi) return;
+  if (depth > 8) {
+    // Deep paths are rare; one 8-lane compare no longer covers the whole
+    // prefix, so take the scalar histogram (identical output).
+    CountDepthPrefixesScalar(components, offsets, lo, hi, path, depth,
+                             totals);
+    return;
+  }
+  // lcp of each id against the path in one masked compare: lanes past the
+  // id's (or path's) length load as zero and are masked out of the
+  // mismatch bits, so tzcnt of the mismatches *below* min(depth, len) is
+  // exactly the scalar while-loop's exit index.
+  const __m256i pv = _mm256_maskload_epi32(
+      reinterpret_cast<const int32_t*>(path), LoadMask(depth));
+  uint64_t hist[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t j = lo; j < hi; ++j) {
+    const uint32_t* id = components + offsets[j];
+    const uint32_t id_len = offsets[j + 1] - offsets[j];
+    const uint32_t m = std::min(depth, id_len);
+    const __m256i idv = _mm256_maskload_epi32(
+        reinterpret_cast<const int32_t*>(id), LoadMask(m));
+    const uint32_t eq = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(idv, pv))));
+    const uint32_t mismatch = ~eq & ((1u << m) - 1u);
+    const uint32_t d =
+        mismatch != 0 ? static_cast<uint32_t>(__builtin_ctz(mismatch)) : m;
+    ++hist[d];
+  }
+  uint64_t cum = 0;
+  for (uint32_t d = depth; d >= 1; --d) {
+    cum += hist[d];
+    totals[d] += cum;
+  }
+}
+
+}  // namespace gks::simd::internal

@@ -1,0 +1,44 @@
+#ifndef GKS_COMMON_SIMD_KERNELS_ENTRY_H_
+#define GKS_COMMON_SIMD_KERNELS_ENTRY_H_
+
+// Raw kernel entry points, internal to the simd layer: dispatch.cc wires
+// these into the public Kernels tables. The AVX2 set only exists when the
+// build compiled kernels_avx2.cc (CMake GKS_SIMD on an x86-64 toolchain;
+// the GKS_SIMD_AVX2 define travels with it).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gks::simd::internal {
+
+size_t DecodeDeltaIdsScalar(const uint8_t* p, size_t len, uint32_t count,
+                            std::vector<uint32_t>* comps,
+                            std::vector<uint32_t>* components,
+                            std::vector<uint32_t>* offsets);
+void ShiftU32Scalar(const uint32_t* src, size_t n, uint32_t delta,
+                    uint32_t* dst);
+void LzMatchCopyScalar(std::string* out, size_t dist, size_t len);
+void CountDepthPrefixesScalar(const uint32_t* components,
+                              const uint32_t* offsets, size_t lo, size_t hi,
+                              const uint32_t* path, uint32_t depth,
+                              uint64_t* totals);
+
+#if defined(GKS_SIMD_AVX2)
+size_t DecodeDeltaIdsAvx2(const uint8_t* p, size_t len, uint32_t count,
+                          std::vector<uint32_t>* comps,
+                          std::vector<uint32_t>* components,
+                          std::vector<uint32_t>* offsets);
+void ShiftU32Avx2(const uint32_t* src, size_t n, uint32_t delta,
+                  uint32_t* dst);
+void LzMatchCopyAvx2(std::string* out, size_t dist, size_t len);
+void CountDepthPrefixesAvx2(const uint32_t* components,
+                            const uint32_t* offsets, size_t lo, size_t hi,
+                            const uint32_t* path, uint32_t depth,
+                            uint64_t* totals);
+#endif  // GKS_SIMD_AVX2
+
+}  // namespace gks::simd::internal
+
+#endif  // GKS_COMMON_SIMD_KERNELS_ENTRY_H_

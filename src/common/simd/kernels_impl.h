@@ -1,0 +1,81 @@
+#ifndef GKS_COMMON_SIMD_KERNELS_IMPL_H_
+#define GKS_COMMON_SIMD_KERNELS_IMPL_H_
+
+// Internal to the kernel translation units: the pointer-based scalar
+// building blocks both the scalar table and the vector tables' general
+// paths share, so every tier rejects exactly the same byte streams.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gks::simd::internal {
+
+/// Pointer-based twin of GetVarint32 (common/varint.cc): same accept set
+/// — rejects truncation, >64-bit continuation, overlong encodings
+/// (trailing zero continuation byte), and values over UINT32_MAX — but
+/// reports failure as a bool instead of building a Status.
+inline bool ReadVarint32(const uint8_t** pp, const uint8_t* end,
+                         uint32_t* out) {
+  const uint8_t* p = *pp;
+  uint64_t result = 0;
+  int consumed = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (p == end) return false;
+    const uint8_t byte = *p++;
+    ++consumed;
+    if (shift == 63 && byte > 0x01) return false;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (byte == 0 && consumed > 1) return false;
+      if (result > UINT32_MAX) return false;
+      *pp = p;
+      *out = static_cast<uint32_t>(result);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Decodes one delta-coded id over its predecessor's components —
+/// semantics of DecodeDeltaId in posting_blocks.cc, including the
+/// off-by-one delta rule when the ids diverge before the predecessor
+/// ends. On failure `comps` may hold partial state; callers discard it.
+inline bool DecodeOneDeltaId(const uint8_t** pp, const uint8_t* end,
+                             std::vector<uint32_t>* comps) {
+  if (*pp == end) return false;
+  const uint8_t header = **pp;
+  ++*pp;
+  uint32_t shared, fresh;
+  if (header != 0xff) {
+    shared = header >> 4;
+    fresh = header & 0x0f;
+  } else {
+    if (!ReadVarint32(pp, end, &shared)) return false;
+    if (!ReadVarint32(pp, end, &fresh)) return false;
+  }
+  if (fresh == 0 || shared > comps->size() || shared + fresh > (1u << 20)) {
+    return false;
+  }
+  uint32_t first = 0;
+  if (!ReadVarint32(pp, end, &first)) return false;
+  if (shared < comps->size()) first += (*comps)[shared] + 1;
+  comps->resize(shared + fresh);
+  (*comps)[shared] = first;
+  for (uint32_t c = shared + 1; c < shared + fresh; ++c) {
+    if (!ReadVarint32(pp, end, &(*comps)[c])) return false;
+  }
+  return true;
+}
+
+/// Scalar LZ back-reference copy: the reference byte-by-byte loop (the
+/// overlapping case reads bytes it just wrote — RLE semantics).
+inline void LzMatchCopyBytewise(std::string* out, size_t dist, size_t len) {
+  const size_t from = out->size() - dist;
+  for (size_t j = 0; j < len; ++j) out->push_back((*out)[from + j]);
+}
+
+}  // namespace gks::simd::internal
+
+#endif  // GKS_COMMON_SIMD_KERNELS_IMPL_H_

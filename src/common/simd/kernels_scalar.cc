@@ -1,0 +1,72 @@
+// The scalar kernel tier: portable reference implementations every
+// vector tier is differential-tested against. Always compiled; selected
+// outright by GKS_SIMD=off, on non-x86 hosts, or when the build disabled
+// the vector TUs.
+
+#include "common/simd/kernels_entry.h"
+
+#include <algorithm>
+
+#include "common/simd/kernels.h"
+#include "common/simd/kernels_impl.h"
+
+namespace gks::simd::internal {
+
+size_t DecodeDeltaIdsScalar(const uint8_t* p, size_t len, uint32_t count,
+                            std::vector<uint32_t>* comps,
+                            std::vector<uint32_t>* components,
+                            std::vector<uint32_t>* offsets) {
+  const uint8_t* cur = p;
+  const uint8_t* end = p + len;
+  for (uint32_t i = 1; i < count; ++i) {
+    if (!DecodeOneDeltaId(&cur, end, comps)) return kDecodeError;
+    components->insert(components->end(), comps->begin(), comps->end());
+    offsets->push_back(static_cast<uint32_t>(components->size()));
+  }
+  return static_cast<size_t>(cur - p);
+}
+
+void ShiftU32Scalar(const uint32_t* src, size_t n, uint32_t delta,
+                    uint32_t* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = src[i] + delta;
+}
+
+void LzMatchCopyScalar(std::string* out, size_t dist, size_t len) {
+  LzMatchCopyBytewise(out, dist, len);
+}
+
+void CountDepthPrefixesScalar(const uint32_t* components,
+                              const uint32_t* offsets, size_t lo, size_t hi,
+                              const uint32_t* path, uint32_t depth,
+                              uint64_t* totals) {
+  if (depth == 0 || lo >= hi) return;
+  // Histogram of lcp depths (capped at `depth`), then suffix sums: an id
+  // with lcp exactly e lies in the subtree of every prefix of length
+  // d <= e.
+  constexpr uint32_t kStackDepth = 64;
+  uint64_t stack_hist[kStackDepth + 1];
+  std::vector<uint64_t> heap_hist;
+  uint64_t* hist;
+  if (depth <= kStackDepth) {
+    std::fill(stack_hist, stack_hist + depth + 1, 0);
+    hist = stack_hist;
+  } else {
+    heap_hist.assign(depth + 1, 0);
+    hist = heap_hist.data();
+  }
+  for (size_t j = lo; j < hi; ++j) {
+    const uint32_t* id = components + offsets[j];
+    const uint32_t id_len = offsets[j + 1] - offsets[j];
+    const uint32_t m = std::min(depth, id_len);
+    uint32_t d = 0;
+    while (d < m && id[d] == path[d]) ++d;
+    ++hist[d];
+  }
+  uint64_t cum = 0;
+  for (uint32_t d = depth; d >= 1; --d) {
+    cum += hist[d];
+    totals[d] += cum;
+  }
+}
+
+}  // namespace gks::simd::internal

@@ -37,11 +37,23 @@ struct PlanAtomStats {
   bool estimated = false; // phrase/tag atom: `postings` is the raw bound
 };
 
+/// Default disengage floor for the top-k axis: when the planner's anchor
+/// postings — an upper bound on the candidate count, since every valid
+/// window intersects the anchor set by pigeonhole — do not exceed this,
+/// the block-max segment loop has nothing worth skipping and full scoring
+/// plus truncation is cheaper (the evaluator's per-segment bookkeeping
+/// showed up as a 0.5-0.6x regression on skewed queries; see
+/// docs/PERFORMANCE.md). SearchOptions::topk_scan_floor overrides it.
+inline constexpr uint64_t kTopKFullScanPostings = 4096;
+
 /// The top-k axis of a plan: orthogonal to the strategy choice. When
-/// engaged (`--top-k` > 0 on a non-empty query) the block-max evaluator
-/// replaces the full evaluation pipeline — for any strategy, since every
-/// strategy returns identical nodes — and fills the work counters after
-/// execution. Results equal full evaluation truncated to the k best.
+/// engaged (`--top-k` > 0 on a non-empty query whose anchor postings
+/// exceed the scan floor) the block-max evaluator replaces the full
+/// evaluation pipeline — for any strategy, since every strategy returns
+/// identical nodes — and fills the work counters after execution. When
+/// `k > 0` but disengaged, the chosen strategy runs in full and the
+/// searcher truncates the ranked nodes to k, which is byte-identical.
+/// Either way, results equal full evaluation truncated to the k best.
 struct PlanTopK {
   uint32_t k = 0;        // requested result bound (0 = full evaluation)
   bool engaged = false;  // block-max evaluator ran instead of the strategy

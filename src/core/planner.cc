@@ -24,27 +24,13 @@ uint32_t DocSpanOf(const PostingList& list) {
 
 PlannerDecision ChoosePlan(const XmlIndex& index, const Query& query,
                            uint32_t effective_s, PlanMode requested,
-                           uint32_t top_k) {
+                           uint32_t top_k, uint64_t topk_scan_floor) {
   PlannerDecision out;
   PlanInfo& info = out.info;
   info.requested = requested;
 
   const size_t n = query.size();
-
-  // The top-k axis is orthogonal to the strategy choice: any strategy
-  // produces the same nodes, so a bounded result set can always be served
-  // by the block-max evaluator instead. The strategy below is still chosen
-  // and reported — it documents what a full evaluation would have run.
-  info.topk.k = top_k;
-  if (top_k > 0 && n > 0) {
-    char treason[96];
-    std::snprintf(treason, sizeof(treason),
-                  "top-%u requested: block-max evaluator with rank-bound "
-                  "early termination",
-                  top_k);
-    info.topk.engaged = true;
-    info.topk.reason = treason;
-  }
+  info.topk.k = top_k;  // engagement decided below, after the anchor estimate
   info.atoms.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const QueryAtom& atom = query.atoms()[i];
@@ -97,6 +83,37 @@ PlannerDecision ChoosePlan(const XmlIndex& index, const Query& query,
   info.anchor_postings = anchor_total;
   info.skew = static_cast<double>(largest) /
               static_cast<double>(anchor_total > 0 ? anchor_total : 1);
+
+  // The top-k axis is orthogonal to the strategy choice: any strategy
+  // produces the same nodes, so a bounded result set can be served by the
+  // block-max evaluator instead. But the segment loop only pays when
+  // there is work to skip: every valid window intersects the anchor set
+  // (pigeonhole), so `anchor_total` bounds the full candidate count — at
+  // or below the scan floor the evaluator's per-segment bookkeeping costs
+  // more than scoring everything and truncating (the skewed-query
+  // regression in BENCH history), so the axis stays disengaged and the
+  // searcher truncates the ranked nodes instead. The strategy below is
+  // still chosen and reported — on the engaged path it documents what a
+  // full evaluation would have run.
+  if (top_k > 0 && n > 0) {
+    char treason[160];
+    if (anchor_total <= topk_scan_floor) {
+      std::snprintf(treason, sizeof(treason),
+                    "top-%u requested, but anchor postings %llu <= %llu "
+                    "bound the candidates: full scoring + truncation is "
+                    "cheaper",
+                    top_k, static_cast<unsigned long long>(anchor_total),
+                    static_cast<unsigned long long>(topk_scan_floor));
+      info.topk.engaged = false;
+    } else {
+      std::snprintf(treason, sizeof(treason),
+                    "top-%u requested: block-max evaluator with rank-bound "
+                    "early termination",
+                    top_k);
+      info.topk.engaged = true;
+    }
+    info.topk.reason = treason;
+  }
 
   bool small_non_anchor = false;
   for (const PlanAtomStats& stats : info.atoms) {

@@ -36,12 +36,18 @@ struct PlannerDecision {
 /// heuristic thresholds and measured crossover points are documented in
 /// docs/PERFORMANCE.md. `effective_s` is the already-clamped threshold.
 ///
-/// `top_k` > 0 engages the orthogonal top-k axis (PlanInfo::topk): the
-/// block-max evaluator substitutes for the chosen strategy at execution
-/// time and returns the identical k best nodes (docs/PERFORMANCE.md).
+/// `top_k` > 0 requests the orthogonal top-k axis (PlanInfo::topk). It
+/// engages — the block-max evaluator substitutes for the chosen strategy
+/// at execution time — only when the estimated anchor postings exceed
+/// `topk_scan_floor`; below that bound the candidate set is so small that
+/// full scoring plus truncation wins, so the planner leaves the axis
+/// disengaged and the searcher truncates instead. Both paths return the
+/// identical k best nodes (docs/PERFORMANCE.md); `topk.reason` records
+/// the decision either way.
 PlannerDecision ChoosePlan(const XmlIndex& index, const Query& query,
                            uint32_t effective_s, PlanMode requested,
-                           uint32_t top_k = 0);
+                           uint32_t top_k = 0,
+                           uint64_t topk_scan_floor = kTopKFullScanPostings);
 
 }  // namespace gks
 

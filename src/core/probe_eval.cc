@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/metrics.h"
+#include "common/simd/kernels.h"
 #include "core/lce.h"
 #include "index/posting_blocks.h"
 
@@ -428,19 +429,44 @@ void ProbeEvaluator::ProcessEndEvent(uint32_t c, DeweySpan p, bool has_prev,
 
   // lcp(start, p) has depth >= d iff start lies in subtree(p[0..d)); the
   // count with depth exactly d is the difference against depth d+1.
-  // Deepest first, stopping once the prefix's subtree swallows the whole
-  // interval (shallower prefixes then add nothing).
-  uint64_t deeper = 0;
-  for (uint32_t d = p.size; d >= 1; --d) {
-    DeweySpan q{p.data, d};
-    uint64_t total = 0;
-    for (uint32_t i = 0; i < n; ++i) {
-      AtomList& al = *lists_[i];
-      if (al.size == 0) continue;
+  // Eager-backed lists with small intervals take the dispatched linear
+  // histogram kernel — one pass over the interval covers every depth at
+  // once. The rest keep per-depth subtree-boundary searches, deepest
+  // first, with a per-list stop once a prefix's subtree swallows that
+  // list's whole interval (subtree ranges nest, so every shallower
+  // prefix covers it too).
+  const uint32_t depth = p.size;
+  constexpr size_t kDepthScanLinearMax = 256;
+  const simd::Kernels& kernels = simd::Active();
+  depth_totals_.assign(depth + 1, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    AtomList& al = *lists_[i];
+    if (al.size == 0 || hi[i] <= lo[i]) continue;
+    const PackedIds* eager = al.owned_active ? &al.owned : al.eager;
+    if (eager != nullptr && hi[i] - lo[i] <= kDepthScanLinearMax) {
+      kernels.count_depth_prefixes(eager->raw_components(),
+                                   eager->raw_offsets(), lo[i], hi[i],
+                                   p.data, depth, depth_totals_.data());
+      kernels.depth_calls->Increment();
+      continue;
+    }
+    const uint64_t span = hi[i] - lo[i];
+    for (uint32_t d = depth; d >= 1; --d) {
+      DeweySpan q{p.data, d};
       size_t b = std::max(lo[i], al.probe.SubtreeBegin(q));
       size_t e = std::min(hi[i], al.probe.SubtreeEnd(q));
-      if (e > b) total += e - b;
+      if (e <= b) continue;
+      const uint64_t inside = e - b;
+      depth_totals_[d] += inside;
+      if (inside == span) {
+        for (uint32_t d2 = d - 1; d2 >= 1; --d2) depth_totals_[d2] += inside;
+        break;
+      }
     }
+  }
+  uint64_t deeper = 0;
+  for (uint32_t d = depth; d >= 1; --d) {
+    const uint64_t total = depth_totals_[d];
     if (total > deeper) {
       counts_[std::vector<uint32_t>(p.data, p.data + d)] += total - deeper;
     }

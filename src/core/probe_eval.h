@@ -117,6 +117,11 @@ class ProbeEvaluator {
   size_t anchor_postings_ = 0;
   size_t events_ = 0;
 
+  // Per-event scratch for the depth-count kernel: totals_[d] = interval
+  // entries inside subtree(p[0..d)), summed over lists (reused across
+  // events to stay allocation-free in the hot loop).
+  std::vector<uint64_t> depth_totals_;
+
   // Window counts keyed by candidate components; uint64 accumulation then
   // uint32 truncation matches the merge path's uint32 ++ wraparound.
   std::map<std::vector<uint32_t>, uint64_t> counts_;

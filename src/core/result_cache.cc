@@ -48,6 +48,9 @@ std::string QueryResultCache::MakeKey(const std::string& normalized_query,
   AppendField(&key, static_cast<uint64_t>(options.plan));
   // Different k means different nodes (and different DI/refinements).
   AppendField(&key, options.top_k);
+  // Same nodes either side of the floor, but plan.topk.engaged/reason and
+  // the recorded trace differ — keep the entries distinct.
+  AppendField(&key, options.topk_scan_floor);
   AppendField(&key, epoch);
   return key;
 }

@@ -6,6 +6,7 @@
 
 #include "common/json_writer.h"
 #include "common/metrics.h"
+#include "common/simd/kernels.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -72,7 +73,8 @@ Result<SearchResponse> GksSearcher::SearchTraced(
   // of hitting the allocator each time.
   QueryArena& arena = QueryArena::ThreadLocal();
   PlannerDecision decision =
-      ChoosePlan(*index_, query, s, options.plan, options.top_k);
+      ChoosePlan(*index_, query, s, options.plan, options.top_k,
+                 options.topk_scan_floor);
   response.plan = std::move(decision.info);
 
   MetricsRegistry& registry = MetricsRegistry::Global();
@@ -180,10 +182,6 @@ Result<SearchResponse> GksSearcher::SearchTraced(
       lce_span.AddItems(response.nodes.size());
     }
   }
-  for (const GksNode& node : response.nodes) {
-    if (node.is_lce) ++response.lce_count;
-  }
-
   // Rank: potential-flow score first, then keyword count, then document
   // order for determinism. The top-k evaluator already emits this order.
   if (!response.plan.topk.engaged) {
@@ -195,6 +193,18 @@ Result<SearchResponse> GksSearcher::SearchTraced(
                 }
                 return a.id < b.id;
               });
+    // A requested-but-disengaged top-k truncates here: the planner judged
+    // full scoring + truncation cheaper than the segment loop
+    // (plan.topk.reason), and after the sort the two paths hold the same
+    // k nodes — so lce_count, DI, and refinements below see exactly what
+    // the engaged evaluator would have handed them.
+    if (response.plan.topk.k > 0 &&
+        response.nodes.size() > response.plan.topk.k) {
+      response.nodes.resize(response.plan.topk.k);
+    }
+  }
+  for (const GksNode& node : response.nodes) {
+    if (node.is_lce) ++response.lce_count;
   }
 
   if (options.discover_di) {
@@ -287,12 +297,13 @@ std::string FormatSearchDiagnostics(const SearchResponse& response) {
   const SearchResponse::Timings& t = response.timings;
   std::snprintf(
       buf, sizeof(buf),
-      "plan=%s (%s)\n"
+      "plan=%s (%s) kernel=%s\n"
       "s=%u  |S_L|=%zu  candidates=%zu  nodes=%zu (LCE %zu)\n"
       "parse %.3fms | merge %.3fms | windows %.3fms | lce+rank %.3fms | "
       "di %.3fms | refine %.3fms\n"
       "stages %.3fms + other %.3fms = total %.3fms",
       PlanModeName(response.plan.strategy), response.plan.reason.c_str(),
+      simd::Active().name,
       response.effective_s, response.merged_list_size,
       response.candidate_count, response.nodes.size(), response.lce_count,
       t.parse_ms, t.merge_ms, t.window_ms, t.lce_ms, t.di_ms, t.refine_ms,
@@ -334,6 +345,10 @@ std::string ExplainJson(const SearchResponse& response) {
   json.Key("skew").Double(plan.skew, 2);
   json.Key("probe_events").UInt(plan.probe_events);
   json.Key("gathered_postings").UInt(plan.gathered_postings);
+  // Active hot-path kernel tier ("scalar" or "avx2") — dispatch is
+  // process-wide (src/common/simd/kernels.h), surfaced here so a saved
+  // explain document records which kernels produced its timings.
+  json.Key("kernel").String(simd::Active().name);
   json.Key("topk").BeginObject();
   json.Key("k").UInt(plan.topk.k);
   json.Key("engaged").Bool(plan.topk.engaged);

@@ -45,6 +45,13 @@ struct SearchOptions {
   /// `max_results` — a post-hoc trim — `top_k` changes how much work the
   /// evaluator does. Both may be set; max_results applies after.
   uint32_t top_k = 0;
+  /// Anchor-postings floor below which a top-k request skips the
+  /// block-max segment loop and runs the chosen strategy in full,
+  /// truncating the ranked nodes to k afterwards (identical results; the
+  /// planner records the choice in plan.topk.reason). Exposed for tests
+  /// and benchmarks: 0 engages the evaluator for any non-empty anchor
+  /// set, UINT64_MAX never engages it.
+  uint64_t topk_scan_floor = kTopKFullScanPostings;
 };
 
 /// A GKS response: ranked nodes, DI keywords, refinement suggestions, and

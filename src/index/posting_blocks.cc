@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/simd/kernels.h"
 #include "common/varint.h"
 
 namespace gks {
@@ -219,14 +220,35 @@ size_t BlockPostingsView::FindBlockLowerBound(DeweySpan id) const {
 Status BlockPostingsView::DecodeBlock(size_t b, PackedIds* out) const {
   DeweySpan first = firsts_.At(b);
   out->Add(first);
-  std::vector<uint32_t> comps(first.data, first.data + first.size);
   std::string_view payload = payloads_.substr(
       payload_begin_[b], payload_begin_[b + 1] - payload_begin_[b]);
-  for (uint32_t i = 1; i < counts_[b]; ++i) {
-    GKS_RETURN_IF_ERROR(DecodeDeltaId(&payload, &comps));
-    out->Add(DeweySpan{comps.data(), static_cast<uint32_t>(comps.size())});
-  }
-  if (!payload.empty()) {
+  const uint32_t count = counts_[b];
+  if (count > 1) {
+    // Dispatched decode kernel (src/common/simd/kernels.h): appends the
+    // delta-coded ids straight into the PackedIds flat storage. Every
+    // tier accepts exactly the byte streams the reference decoder below
+    // accepts, so the success path never diverges.
+    const simd::Kernels& kernels = simd::Active();
+    thread_local std::vector<uint32_t> comps;
+    comps.assign(first.data, first.data + first.size);
+    const size_t consumed = kernels.decode_delta_ids(
+        reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+        count, &comps, out->mutable_raw_components(),
+        out->mutable_raw_offsets());
+    if (consumed != payload.size()) {
+      // Malformed payload (or trailing bytes): re-run the Status-carrying
+      // reference decoder for the exact corruption message. Partial
+      // appends stay in `out`, as they always have — every caller
+      // discards the container on error.
+      std::vector<uint32_t> ref(first.data, first.data + first.size);
+      for (uint32_t i = 1; i < count; ++i) {
+        GKS_RETURN_IF_ERROR(DecodeDeltaId(&payload, &ref));
+      }
+      return Status::Corruption("posting block " + std::to_string(b) +
+                                " has trailing bytes");
+    }
+    kernels.decode_calls->Increment();
+  } else if (!payload.empty()) {
     return Status::Corruption("posting block " + std::to_string(b) +
                               " has trailing bytes");
   }

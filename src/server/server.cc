@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/json_writer.h"
+#include "common/simd/cpu_features.h"
+#include "common/simd/kernels.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "core/searcher.h"
@@ -307,6 +309,10 @@ std::string GksServer::HandleAdmin(const WireRequest& request) {
       load.Key("queue_depth").UInt(config_.queue_depth);
       load.Key("connections").Int(connections_gauge_->value());
       load.Key("draining").Bool(draining_.load());
+      // Which hot-path kernel tier answers queries on this host — the
+      // first thing to compare when two replicas disagree on latency.
+      load.Key("cpu").String(simd::CpuFeatures::Get().ToString());
+      load.Key("dispatch").String(simd::Active().name);
       load.EndObject();
       return WireResponseBuilder::Admin(request, "serving",
                                         index_state_.epoch(), "load",

@@ -14,6 +14,7 @@
 
 #include "gtest/gtest.h"
 #include "baseline/naive_gks.h"
+#include "common/simd/kernels.h"
 #include "core/searcher.h"
 #include "data/random_tree_gen.h"
 #include "index/serialization.h"
@@ -122,12 +123,14 @@ TEST_P(PlannerEquivalence, AllStrategiesAndBackendsAgree) {
   }
 }
 
-// Top-k early termination must be invisible except for the truncation:
-// for every strategy, both backends, and every k, the k returned nodes
-// are bit-identical to the full response's first k (same order, same
-// ranks) — including k = 1 and k past the end of the result list. The
-// block-max evaluator replaces the whole scan, so this is the property
-// that makes `--top-k` safe to enable anywhere.
+// Top-k must be invisible except for the truncation: for every strategy,
+// both backends, every k, and both sides of the planner's scan floor
+// (floor 0 engages the block-max evaluator for any non-empty anchor set;
+// UINT64_MAX forces the full-scoring-then-truncate path), the k returned
+// nodes are bit-identical to the full response's first k (same order,
+// same ranks) — including k = 1 and k past the end of the result list.
+// This is the property that makes `--top-k` safe to enable anywhere and
+// the floor heuristic free to move.
 TEST_P(PlannerEquivalence, TopKMatchesFullScoringThenTruncate) {
   const std::vector<std::string> queries = {
       "k0 k1 k2 k3",
@@ -142,38 +145,82 @@ TEST_P(PlannerEquivalence, TopKMatchesFullScoringThenTruncate) {
         for (PlanMode plan : {PlanMode::kMerge, PlanMode::kProbe,
                               PlanMode::kHybrid, PlanMode::kAuto}) {
           for (const XmlIndex* index : {&eager_, &mapped_}) {
-            GksSearcher searcher(index);
-            SearchOptions options;
-            options.s = s;
-            options.discover_di = false;
-            options.suggest_refinements = false;
-            options.plan = plan;
-            options.top_k = k;
-            Result<SearchResponse> response = searcher.Search(text, options);
-            ASSERT_TRUE(response.ok()) << response.status().ToString();
-            char label[160];
-            std::snprintf(label, sizeof(label),
-                          "'%s' s=%u k=%u plan=%s backend=%s", text.c_str(),
-                          s, k, PlanModeName(plan),
-                          index == &eager_ ? "eager" : "mapped");
-            EXPECT_TRUE(response->plan.topk.engaged) << label;
-            const size_t want =
-                std::min<size_t>(k, full.nodes.size());
-            ASSERT_EQ(response->nodes.size(), want) << label;
-            for (size_t i = 0; i < want; ++i) {
-              const GksNode& expect = full.nodes[i];
-              const GksNode& got = response->nodes[i];
-              EXPECT_EQ(got.id, expect.id) << label << " node " << i;
-              EXPECT_EQ(got.keyword_mask, expect.keyword_mask)
-                  << label << " node " << i;
-              EXPECT_EQ(got.keyword_count, expect.keyword_count)
-                  << label << " node " << i;
-              EXPECT_EQ(got.is_lce, expect.is_lce) << label << " node " << i;
-              EXPECT_DOUBLE_EQ(got.rank, expect.rank)
-                  << label << " node " << i;
+            for (uint64_t floor : {uint64_t{0}, UINT64_MAX}) {
+              GksSearcher searcher(index);
+              SearchOptions options;
+              options.s = s;
+              options.discover_di = false;
+              options.suggest_refinements = false;
+              options.plan = plan;
+              options.top_k = k;
+              options.topk_scan_floor = floor;
+              Result<SearchResponse> response = searcher.Search(text, options);
+              ASSERT_TRUE(response.ok()) << response.status().ToString();
+              char label[160];
+              std::snprintf(label, sizeof(label),
+                            "'%s' s=%u k=%u plan=%s backend=%s floor=%s",
+                            text.c_str(), s, k, PlanModeName(plan),
+                            index == &eager_ ? "eager" : "mapped",
+                            floor == 0 ? "0" : "max");
+              // Floor 0 engages whenever the anchor estimate is non-zero
+              // (a keyword can be absent from a random corpus, and an
+              // empty anchor bounds the candidates at zero: 0 <= 0
+              // disengages); UINT64_MAX never engages.
+              if (floor == 0) {
+                EXPECT_EQ(response->plan.topk.engaged,
+                          response->plan.anchor_postings > 0)
+                    << label;
+              } else {
+                EXPECT_FALSE(response->plan.topk.engaged) << label;
+              }
+              EXPECT_FALSE(response->plan.topk.reason.empty()) << label;
+              const size_t want =
+                  std::min<size_t>(k, full.nodes.size());
+              ASSERT_EQ(response->nodes.size(), want) << label;
+              for (size_t i = 0; i < want; ++i) {
+                const GksNode& expect = full.nodes[i];
+                const GksNode& got = response->nodes[i];
+                EXPECT_EQ(got.id, expect.id) << label << " node " << i;
+                EXPECT_EQ(got.keyword_mask, expect.keyword_mask)
+                    << label << " node " << i;
+                EXPECT_EQ(got.keyword_count, expect.keyword_count)
+                    << label << " node " << i;
+                EXPECT_EQ(got.is_lce, expect.is_lce) << label << " node " << i;
+                EXPECT_DOUBLE_EQ(got.rank, expect.rank)
+                    << label << " node " << i;
+              }
             }
           }
         }
+      }
+    }
+  }
+}
+
+// The dispatched hot-path kernels (posting-block decode, offset gather,
+// LZ match copy, depth counting — src/common/simd/kernels.h) must be
+// invisible end to end: whole responses computed under the forced scalar
+// table are bit-identical to responses under the process's active table
+// (AVX2 where the CPU has it), across strategies and both backends. On a
+// scalar-only build or under GKS_SIMD=off the two tables coincide and
+// this degenerates to a replay check.
+TEST_P(PlannerEquivalence, KernelDispatchIsInvisible) {
+  const std::vector<std::string> queries = {"k0 k1 k2 k3", "\"k1 k3\" k0 k5"};
+  for (const std::string& text : queries) {
+    for (uint32_t s : {1u, 3u}) {
+      for (PlanMode plan : {PlanMode::kMerge, PlanMode::kProbe,
+                            PlanMode::kHybrid}) {
+        simd::SetActiveForTest(&simd::Scalar());
+        SearchResponse scalar_eager = Run(eager_, text, s, plan);
+        SearchResponse scalar_mapped = Run(mapped_, text, s, plan);
+        simd::SetActiveForTest(nullptr);
+        char label[128];
+        std::snprintf(label, sizeof(label), "'%s' s=%u plan=%s", text.c_str(),
+                      s, PlanModeName(plan));
+        ExpectIdentical(scalar_eager, Run(eager_, text, s, plan),
+                        std::string("kernel eager ") + label);
+        ExpectIdentical(scalar_mapped, Run(mapped_, text, s, plan),
+                        std::string("kernel mapped ") + label);
       }
     }
   }

@@ -86,6 +86,12 @@ TEST(ServerIntegrationTest, QueryAndAdminRoundTrip) {
   ASSERT_NE(load, nullptr);
   EXPECT_EQ(load->Find("inflight")->GetInt(), 0);
   EXPECT_FALSE(load->Find("draining")->GetBool());
+  // Kernel dispatch is part of the health contract: operators compare
+  // replicas by these two fields before chasing latency deltas.
+  ASSERT_NE(load->Find("cpu"), nullptr);
+  ASSERT_NE(load->Find("dispatch"), nullptr);
+  const std::string dispatch = load->Find("dispatch")->GetString();
+  EXPECT_TRUE(dispatch == "scalar" || dispatch == "avx2") << dispatch;
 
   Result<JsonValue> stats = connection.Admin("stats");
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();

@@ -37,6 +37,7 @@
 
 #include "common/flags.h"
 #include "common/metrics.h"
+#include "common/simd/kernels.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -449,6 +450,7 @@ int CmdStats(const FlagParser& flags) {
               (unsigned long long)index->inverted.posting_count());
   std::printf("attr dir  : %zu values\n", index->attributes.size());
   std::printf("memory    : %s\n", HumanBytes(index->MemoryUsage()).c_str());
+  std::printf("cpu       : %s\n", simd::DispatchDescription().c_str());
   if (Result<IndexFileInfo> info = InspectIndexFile(args[1]); info.ok()) {
     std::printf("on disk   : %s (format v%d)\n",
                 HumanBytes(info->file_bytes).c_str(), info->version);
