@@ -44,6 +44,12 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "$build/tests/index_test" \
   --gtest_filter='PostingBlocks*:Serialization*:GoldenIndex*:PostingList*' \
   --gtest_brief=1
+# Real-time update path: WAL frames are crash-shaped bytes by design
+# (torn tails, flipped CRCs), and RtIndex replays them plus docstore
+# blobs end to end.
+"$build/tests/index_test" \
+  --gtest_filter='Wal*:RtIndex*:SizeTier*:PickMergeInputs*:MergeDocstores*' \
+  --gtest_brief=1
 # The kernel differential suite again with dispatch forced off: the
 # scalar twins parse the same attacker-shaped bytes under ASan too.
 GKS_SIMD=off "$build/tests/common_test" \

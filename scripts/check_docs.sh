@@ -14,6 +14,13 @@
 #   5. The wire error codes documented in docs/SERVER.md must match the
 #      wire_error constants of src/server/protocol.h, both directions.
 #   6. Relative markdown links in docs/SERVER.md must resolve.
+#   7. The `--rt*` flags documented between the rt-flags markers of
+#      docs/INDEXING.md must match the rt- flags the serve command
+#      reads, both directions.
+#   8. The metric names between the rt-metrics markers of
+#      docs/INDEXING.md must match the `gks.rt.*` literals in src/ and
+#      tools/, both directions.
+#   9. Relative markdown links in docs/INDEXING.md must resolve.
 #
 # Usage: check_docs.sh [repo-root]   (defaults to the script's parent)
 
@@ -22,6 +29,7 @@ set -euo pipefail
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 doc="$root/docs/OBSERVABILITY.md"
 server_doc="$root/docs/SERVER.md"
+indexing_doc="$root/docs/INDEXING.md"
 fail=0
 
 if [[ ! -f "$doc" ]]; then
@@ -30,6 +38,10 @@ if [[ ! -f "$doc" ]]; then
 fi
 if [[ ! -f "$server_doc" ]]; then
   echo "check_docs: missing $server_doc" >&2
+  exit 1
+fi
+if [[ ! -f "$indexing_doc" ]]; then
+  echo "check_docs: missing $indexing_doc" >&2
   exit 1
 fi
 
@@ -135,6 +147,67 @@ while IFS= read -r link; do
 done < <(grep -oE '\]\([^)]+\)' "$server_doc" | sed 's/^](//; s/)$//' \
          | grep -vE '^(https?:|#)' | sort -u)
 
+# 7. rt flags: docs/INDEXING.md rt-flags block <-> serve command, both ways
+rt_doc_flags=$(extract_block "rt-flags" "$indexing_doc" | sed 's/^--//')
+if [[ -z "$rt_doc_flags" ]]; then
+  echo "check_docs: no flags found between rt-flags markers in" \
+       "docs/INDEXING.md" >&2
+  fail=1
+fi
+rt_src_flags=$(grep -E '^rt(-|$)' <<<"$src_flags" || true)
+for name in $rt_doc_flags; do
+  if ! grep -qx "$name" <<<"$rt_src_flags"; then
+    echo "check_docs: flag '--$name' is documented in docs/INDEXING.md" \
+         "but never read by the serve command" >&2
+    fail=1
+  fi
+done
+for name in $rt_src_flags; do
+  if ! grep -qx "$name" <<<"$rt_doc_flags"; then
+    echo "check_docs: serve flag '--$name' is read in" \
+         "src/server/command.cc but not documented in the rt-flags block" \
+         "of docs/INDEXING.md" >&2
+    fail=1
+  fi
+done
+
+# 8. rt metrics: docs/INDEXING.md rt-metrics block <-> gks.rt.* literals
+rt_doc_metrics=$(extract_block "rt-metrics" "$indexing_doc")
+if [[ -z "$rt_doc_metrics" ]]; then
+  echo "check_docs: no metrics found between rt-metrics markers in" \
+       "docs/INDEXING.md" >&2
+  fail=1
+fi
+rt_src_metrics=$(grep -rhoE '"gks\.rt\.[a-z0-9_.]+"' "$root/src" \
+    "$root/tools" | tr -d '"' | sort -u)
+for name in $rt_doc_metrics; do
+  if ! grep -qx "$name" <<<"$rt_src_metrics"; then
+    echo "check_docs: metric '$name' is documented in docs/INDEXING.md" \
+         "but not found in src/ or tools/" >&2
+    fail=1
+  fi
+done
+for name in $rt_src_metrics; do
+  if ! grep -qx "$name" <<<"$rt_doc_metrics"; then
+    echo "check_docs: metric '$name' is registered in the source tree" \
+         "but not documented in the rt-metrics block of" \
+         "docs/INDEXING.md" >&2
+    fail=1
+  fi
+done
+
+# 9. relative links in docs/INDEXING.md must resolve
+while IFS= read -r link; do
+  target="${link%%#*}"
+  [[ -z "$target" ]] && continue  # pure fragment
+  if [[ ! -e "$root/docs/$target" ]]; then
+    echo "check_docs: docs/INDEXING.md links to '$link' but" \
+         "docs/$target does not exist" >&2
+    fail=1
+  fi
+done < <(grep -oE '\]\([^)]+\)' "$indexing_doc" | sed 's/^](//; s/)$//' \
+         | grep -vE '^(https?:|#)' | sort -u)
+
 if [[ "$fail" -ne 0 ]]; then
   echo "check_docs: FAILED — update the docs or the source" >&2
   exit 1
@@ -142,4 +215,6 @@ fi
 echo "check_docs: OK ($(wc -w <<<"$doc_spans") spans," \
      "$(wc -w <<<"$doc_metrics") metrics," \
      "$(wc -w <<<"$doc_flags") serve flags," \
-     "$(wc -w <<<"$doc_errors") error codes verified)"
+     "$(wc -w <<<"$doc_errors") error codes," \
+     "$(wc -w <<<"$rt_doc_flags") rt flags," \
+     "$(wc -w <<<"$rt_doc_metrics") rt metrics verified)"

@@ -33,7 +33,8 @@ cmake -S "$root" -B "$build" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGKS_SANITIZE=thread >/dev/null
 cmake --build "$build" -j \
-  --target common_test core_test integration_test server_test >/dev/null
+  --target common_test core_test index_test integration_test server_test \
+  >/dev/null
 
 # Second-guess nothing: a TSan report aborts with a non-zero exit.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -46,5 +47,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
   --gtest_filter='Concurrency*:ParallelDeterminism*' --gtest_brief=1
 "$build/tests/server_test" \
   --gtest_filter='ServerIntegration*' --gtest_brief=1
+# Real-time path: commits racing the background flusher/merger inside
+# RtIndex, and wire writes racing queries across server threads.
+"$build/tests/index_test" \
+  --gtest_filter='RtIndex*' --gtest_brief=1
+"$build/tests/server_test" \
+  --gtest_filter='RtServer*' --gtest_brief=1
 
 echo "check_tsan: OK"

@@ -19,6 +19,8 @@ const char* CodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }

@@ -17,6 +17,7 @@ enum class StatusCode {
   kIOError,
   kNotSupported,
   kOutOfRange,
+  kAlreadyExists,   // duplicate document name on real-time insert
 };
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
@@ -43,6 +44,9 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

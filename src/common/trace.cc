@@ -28,6 +28,27 @@ double Trace::ElapsedMs(std::string_view name) const {
   return span != nullptr ? span->elapsed_ms : 0.0;
 }
 
+void Trace::Graft(std::string_view root_name, const Trace& subtree) {
+  TraceSpan root;
+  root.name = std::string(root_name);
+  for (const TraceSpan& span : subtree.spans_) {
+    if (span.parent == -1) {
+      root.elapsed_ms += span.elapsed_ms;
+      root.items += span.items;
+      root.bytes += span.bytes;
+    }
+  }
+  int32_t root_index = static_cast<int32_t>(spans_.size());
+  spans_.push_back(std::move(root));
+  int32_t offset = static_cast<int32_t>(spans_.size());
+  for (const TraceSpan& span : subtree.spans_) {
+    TraceSpan copy = span;
+    copy.parent = span.parent == -1 ? root_index : span.parent + offset;
+    copy.depth = span.depth + 1;
+    spans_.push_back(std::move(copy));
+  }
+}
+
 namespace {
 
 void SpanToJson(const std::vector<TraceSpan>& spans, int32_t index,

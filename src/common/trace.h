@@ -47,6 +47,12 @@ class Trace {
   /// omitted when empty). Schema documented in docs/OBSERVABILITY.md.
   std::string ToJson() const;
 
+  /// Appends `subtree` under a new top-level span named `root_name` whose
+  /// elapsed/items/bytes are the sums over the subtree's top-level spans.
+  /// Used to compose one operation's trace from sub-operations recorded by
+  /// their own collectors (e.g. per-segment searches inside one query).
+  void Graft(std::string_view root_name, const Trace& subtree);
+
  private:
   friend class TraceCollector;
   std::vector<TraceSpan> spans_;

@@ -41,6 +41,8 @@ void FinishTimings(const WallTimer& total_timer, SearchResponse* response) {
       ->Add(response->nodes.size());
 }
 
+}  // namespace
+
 // Canonical cache-key form of a parsed query: analyzed terms (lowercased,
 // stemmed, whitespace-collapsed) plus tag constraints — NOT Query::ToString,
 // which preserves the raw spelling ("XML  Data" must hit "xml data").
@@ -57,8 +59,6 @@ std::string NormalizedQueryText(const Query& query) {
   }
   return out;
 }
-
-}  // namespace
 
 Result<SearchResponse> GksSearcher::SearchTraced(
     const Query& query, const SearchOptions& options) const {

@@ -168,6 +168,11 @@ class GksSearcher {
 std::string DescribeNode(const XmlIndex& index, const GksNode& node,
                          size_t max_attrs = 3);
 
+/// Canonical cache-key form of a parsed query: analyzed terms plus tag
+/// constraints, independent of the raw spelling. Shared by the result
+/// cache and the multi-segment searcher (core/segment_search.h).
+std::string NormalizedQueryText(const Query& query);
+
 }  // namespace gks
 
 #endif  // GKS_CORE_SEARCHER_H_

@@ -1,0 +1,250 @@
+#include "core/segment_search.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "common/trace.h"
+#include "core/result_cache.h"
+#include "text/analyzer.h"
+
+namespace gks {
+namespace {
+
+/// Deepest self-or-ancestor entity of `id` (mirror of the di.cc helper,
+/// which is private to that translation unit).
+bool LowestEntityComponents(const XmlIndex& index, DeweySpan id,
+                            std::vector<uint32_t>* out) {
+  for (uint32_t len = id.size; len >= 1; --len) {
+    DeweySpan prefix{id.data, len};
+    const NodeInfo* info = index.nodes.Find(prefix);
+    if (info != nullptr && info->is_entity()) {
+      out->assign(prefix.data, prefix.data + prefix.size);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// DiscoverDi re-derived over nodes that live in different segments. The
+/// aggregation key is (attribute tag NAME, value STRING) — segment-local
+/// (tag id, value id) pairs are meaningless across indexes, but both maps
+/// group exactly the same occurrences, so weights and supports match a
+/// single-index run. `nodes` must already be in final (merged) rank
+/// order: the first contributor defines the keyword's path, as in di.cc.
+std::vector<DiKeyword> DiscoverDiAcrossSegments(
+    const SegmentSetSnapshot& snapshot, const std::vector<GksNode>& nodes,
+    const Query& query, const DiOptions& options) {
+  std::map<std::pair<std::string, std::string>, DiKeyword> accumulated;
+
+  for (const GksNode& node : nodes) {
+    if (!node.is_lce || node.rank <= 0.0) continue;
+    const SegmentView* view = snapshot.SegmentFor(node.id.doc_id());
+    if (view == nullptr) continue;
+    const XmlIndex& index = *view->index;
+    DeweySpan entity = DeweySpan::Of(node.id);
+    auto [begin, end] = index.attributes.SubtreeRange(entity);
+    end = std::min(end, begin + options.max_attrs_per_node);
+    for (size_t i = begin; i < end; ++i) {
+      DeweySpan attr_id = index.attributes.IdAt(i);
+      std::vector<uint32_t> owner;
+      if (!LowestEntityComponents(index, attr_id, &owner)) continue;
+      if (owner.size() != entity.size ||
+          !std::equal(owner.begin(), owner.end(), entity.data)) {
+        continue;
+      }
+
+      uint32_t value_id = index.attributes.ValueAt(i);
+      const std::string& value = index.nodes.Value(value_id);
+      bool contains_query_term = false;
+      for (const std::string& term : text::Analyze(value)) {
+        if (query.ContainsTerm(term)) {
+          contains_query_term = true;
+          break;
+        }
+      }
+      if (contains_query_term) continue;
+
+      auto key = std::make_pair(
+          std::string(index.nodes.TagName(index.attributes.TagAt(i))), value);
+      DiKeyword& di = accumulated[key];
+      if (di.support == 0) {
+        di.value = value;
+        for (uint32_t len = entity.size; len <= attr_id.size; ++len) {
+          const NodeInfo* info = index.nodes.Find(DeweySpan{attr_id.data, len});
+          di.path.push_back(info != nullptr ? index.nodes.TagName(info->tag_id)
+                                            : "?");
+        }
+      }
+      di.weight += node.rank;
+      ++di.support;
+    }
+  }
+
+  std::vector<DiKeyword> out;
+  out.reserve(accumulated.size());
+  for (auto& [key, di] : accumulated) {
+    (void)key;
+    out.push_back(std::move(di));
+  }
+  std::sort(out.begin(), out.end(), [](const DiKeyword& a, const DiKeyword& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.value < b.value;
+  });
+  if (out.size() > options.top_m) out.resize(options.top_m);
+  return out;
+}
+
+/// True when any tombstone falls inside the segment's doc-id range.
+bool SegmentHasTombstones(const SegmentSetSnapshot& snapshot,
+                          const SegmentView& view) {
+  if (snapshot.deleted == nullptr || snapshot.deleted->empty()) return false;
+  auto it = std::lower_bound(snapshot.deleted->begin(),
+                             snapshot.deleted->end(), view.doc_base);
+  return it != snapshot.deleted->end() &&
+         *it < view.doc_base + view.doc_count;
+}
+
+}  // namespace
+
+Result<SearchResponse> SegmentSearcher::SearchMerged(
+    const Query& query, const SearchOptions& options) const {
+  SearchResponse merged;
+  merged.effective_s =
+      std::min<uint32_t>(options.s == 0 ? static_cast<uint32_t>(query.size())
+                                        : options.s,
+                         static_cast<uint32_t>(query.size()));
+
+  // Per-segment searches run the full pipeline minus DI/refinements
+  // (cross-segment stages) and minus trims (global operations). Each
+  // installs its own collector, so gks.search.* metrics account every
+  // segment; their traces graft below.
+  SearchOptions inner_options = options;
+  inner_options.discover_di = false;
+  inner_options.suggest_refinements = false;
+  inner_options.max_results = 0;
+
+  std::vector<Trace> inner_traces;
+  size_t dominant_size = 0;
+  bool have_plan = false;
+  for (const SegmentView& view : snapshot_->segments) {
+    SearchOptions segment_options = inner_options;
+    if (SegmentHasTombstones(*snapshot_, view)) {
+      // Exactness under deletion: the segment's true k best survivors may
+      // rank below k masked nodes, so evaluate in full and let the merged
+      // sort truncate.
+      segment_options.top_k = 0;
+    }
+    GksSearcher searcher(view.index.get());
+    GKS_ASSIGN_OR_RETURN(SearchResponse response,
+                         searcher.Search(query, segment_options));
+    for (GksNode& node : response.nodes) {
+      if (snapshot_->IsDeleted(node.id.doc_id())) continue;
+      merged.nodes.push_back(std::move(node));
+    }
+    merged.merged_list_size += response.merged_list_size;
+    merged.candidate_count += response.candidate_count;
+    if (!have_plan || response.merged_list_size > dominant_size) {
+      // The dominant segment's plan stands for the query: with one
+      // segment it is exactly the single-index plan, and the posting
+      // statistics that drove every other decision are strictly smaller.
+      merged.plan = response.plan;
+      dominant_size = response.merged_list_size;
+      have_plan = true;
+    }
+    inner_traces.push_back(std::move(response.trace));
+  }
+
+  // The searcher's exact rank order, re-established globally.
+  std::sort(merged.nodes.begin(), merged.nodes.end(),
+            [](const GksNode& a, const GksNode& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              if (a.keyword_count != b.keyword_count) {
+                return a.keyword_count > b.keyword_count;
+              }
+              return a.id < b.id;
+            });
+  if (options.top_k > 0 && merged.nodes.size() > options.top_k) {
+    merged.nodes.resize(options.top_k);
+  }
+  for (const GksNode& node : merged.nodes) {
+    if (node.is_lce) ++merged.lce_count;
+  }
+
+  if (options.discover_di) {
+    ScopedSpan span("di");
+    DiOptions di_options;
+    di_options.top_m = options.di_top_m;
+    merged.insights =
+        DiscoverDiAcrossSegments(*snapshot_, merged.nodes, query, di_options);
+    span.AddItems(merged.insights.size());
+  }
+  if (options.suggest_refinements) {
+    ScopedSpan span("refinement");
+    merged.refinements =
+        SuggestRefinements(query, merged.nodes, merged.insights);
+    span.AddItems(merged.refinements.size());
+  }
+  if (options.max_results > 0 && merged.nodes.size() > options.max_results) {
+    merged.nodes.resize(options.max_results);
+  }
+
+  for (size_t i = 0; i < inner_traces.size(); ++i) {
+    merged.trace.Graft(
+        "segment:" + std::string(snapshot_->segments[i].label),
+        inner_traces[i]);
+  }
+  return merged;
+}
+
+Result<SearchResponse> SegmentSearcher::Search(
+    const Query& query, const SearchOptions& options) const {
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key = QueryResultCache::MakeKey(NormalizedQueryText(query), options,
+                                          snapshot_->epoch);
+    SearchResponse cached;
+    if (cache_->Get(cache_key, &cached)) return cached;
+  }
+  WallTimer total_timer;
+  // Cross-segment stages trace under their own collector; per-segment
+  // pipelines already feed gks.search.* themselves, so this collector
+  // carries no metric prefix (no double counting).
+  TraceCollector collector;
+  Result<SearchResponse> response = SearchMerged(query, options);
+  if (!response.ok()) return response;
+  Trace outer = collector.Finish();
+  response->timings.di_ms = outer.ElapsedMs("di");
+  response->timings.refine_ms = outer.ElapsedMs("refinement");
+  for (const TraceSpan& span : response->trace.spans()) {
+    // Stage sums across segments (response->trace holds the grafts).
+    if (span.name == "merged_list") {
+      response->timings.merge_ms += span.elapsed_ms;
+    } else if (span.name == "window_scan") {
+      response->timings.window_ms += span.elapsed_ms;
+    } else if (span.name == "lce") {
+      response->timings.lce_ms += span.elapsed_ms;
+    }
+  }
+  response->trace.Graft("segments.combine", outer);
+  response->timings.total_ms = total_timer.ElapsedMillis();
+  if (cache_ != nullptr) cache_->Put(cache_key, *response);
+  return response;
+}
+
+Result<SearchResponse> SegmentSearcher::Search(
+    std::string_view query_text, const SearchOptions& options) const {
+  GKS_ASSIGN_OR_RETURN(Query query, Query::Parse(query_text));
+  return Search(query, options);
+}
+
+std::string DescribeNode(const SegmentSetSnapshot& snapshot,
+                         const GksNode& node, size_t max_attrs) {
+  const SegmentView* view = snapshot.SegmentFor(node.id.doc_id());
+  if (view == nullptr) return "<?> " + node.id.ToString();
+  return DescribeNode(*view->index, node, max_attrs);
+}
+
+}  // namespace gks

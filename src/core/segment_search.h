@@ -1,0 +1,72 @@
+#ifndef GKS_CORE_SEGMENT_SEARCH_H_
+#define GKS_CORE_SEGMENT_SEARCH_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/searcher.h"
+#include "index/rt_segment.h"
+
+namespace gks {
+
+class QueryResultCache;
+
+/// GKS search over a real-time segment set (docs/INDEXING.md): runs the
+/// full single-index pipeline per segment, masks tombstoned documents,
+/// and merges the per-segment results into one response that is
+/// node-for-node identical to searching an offline index built over the
+/// same live documents:
+///
+///   - Ranks are potential-flow scores (Sec. 5) — functions of a response
+///     node's own subtree only — so per-segment ranks are directly
+///     comparable and the merge is a sort by the searcher's exact
+///     (rank, keyword count, Dewey id) comparator.
+///   - DI discovery (Sec. 6.2) re-aggregates across segments keyed by
+///     (attribute tag name, value string) — the cross-segment equivalent
+///     of the per-index (tag id, value id) key — so a value exposed by
+///     LCE nodes in different segments sums its weight exactly as one
+///     index would.
+///   - Refinement suggestions are derived once from the merged nodes and
+///     merged DI (they take no index).
+///   - `top_k` stays exact under deletions: a segment overlapping the
+///     tombstone set runs full evaluation (the k-th survivor may sit
+///     below k dead nodes); truncation to k happens after the merge.
+///
+/// The snapshot is immutable; a SegmentSearcher can be constructed per
+/// query for the price of a shared_ptr copy. The optional cache is keyed
+/// by (normalized query, options, snapshot epoch), and every commit
+/// publishes a new epoch, so hits are always current.
+class SegmentSearcher {
+ public:
+  explicit SegmentSearcher(std::shared_ptr<const SegmentSetSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  void set_cache(QueryResultCache* cache) { cache_ = cache; }
+  QueryResultCache* cache() const { return cache_; }
+
+  Result<SearchResponse> Search(const Query& query,
+                                const SearchOptions& options = {}) const;
+  /// Parses `query_text` (quotes delimit phrases) and searches.
+  Result<SearchResponse> Search(std::string_view query_text,
+                                const SearchOptions& options = {}) const;
+
+  const SegmentSetSnapshot& snapshot() const { return *snapshot_; }
+
+ private:
+  Result<SearchResponse> SearchMerged(const Query& query,
+                                      const SearchOptions& options) const;
+
+  std::shared_ptr<const SegmentSetSnapshot> snapshot_;
+  QueryResultCache* cache_ = nullptr;
+};
+
+/// DescribeNode over a segment set: resolves the node's segment by doc id
+/// and formats with that segment's index.
+std::string DescribeNode(const SegmentSetSnapshot& snapshot,
+                         const GksNode& node, size_t max_attrs = 3);
+
+}  // namespace gks
+
+#endif  // GKS_CORE_SEGMENT_SEARCH_H_

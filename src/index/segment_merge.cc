@@ -1,0 +1,64 @@
+#include "index/segment_merge.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gks {
+
+size_t SizeTier(uint64_t bytes) {
+  constexpr uint64_t kBase = 64 * 1024;
+  size_t tier = 0;
+  uint64_t ceiling = kBase;
+  while (bytes > ceiling && tier < 32) {
+    ceiling *= 4;
+    ++tier;
+  }
+  return tier;
+}
+
+std::vector<size_t> PickMergeInputs(const std::vector<uint64_t>& segment_bytes,
+                                    size_t fanout) {
+  if (fanout < 2) return {};
+  std::map<size_t, std::vector<size_t>> tiers;  // tier -> member indices
+  for (size_t i = 0; i < segment_bytes.size(); ++i) {
+    tiers[SizeTier(segment_bytes[i])].push_back(i);
+  }
+  for (auto& [tier, members] : tiers) {
+    (void)tier;
+    if (members.size() < fanout) continue;
+    // Merge the tier's smallest members; stable sort keeps oldest-first
+    // among equals so the pick is deterministic.
+    std::stable_sort(members.begin(), members.end(),
+                     [&](size_t a, size_t b) {
+                       return segment_bytes[a] < segment_bytes[b];
+                     });
+    members.resize(fanout);
+    // Commit-time bookkeeping is simpler over ascending indices.
+    std::sort(members.begin(), members.end());
+    return members;
+  }
+  return {};
+}
+
+std::vector<RtDocument> MergeDocstores(
+    const std::vector<std::vector<RtDocument>>& inputs,
+    const std::vector<uint32_t>& tombstones_sorted, uint32_t new_first_doc_id,
+    std::vector<std::pair<uint32_t, uint32_t>>* id_map) {
+  std::vector<RtDocument> merged;
+  uint32_t next = new_first_doc_id;
+  for (const std::vector<RtDocument>& input : inputs) {
+    for (const RtDocument& doc : input) {
+      if (std::binary_search(tombstones_sorted.begin(),
+                             tombstones_sorted.end(), doc.doc_id)) {
+        continue;  // purged: the merged segment simply never contains it
+      }
+      if (id_map != nullptr) id_map->emplace_back(doc.doc_id, next);
+      RtDocument survivor = doc;
+      survivor.doc_id = next++;
+      merged.push_back(std::move(survivor));
+    }
+  }
+  return merged;
+}
+
+}  // namespace gks

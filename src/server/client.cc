@@ -102,6 +102,24 @@ Result<JsonValue> ServerConnection::Admin(const std::string& verb,
   return Call(json.str());
 }
 
+Result<JsonValue> ServerConnection::Insert(const std::string& name,
+                                           const std::string& xml) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("insert").String(name);
+  json.Key("xml").String(xml);
+  json.EndObject();
+  return Call(json.str());
+}
+
+Result<JsonValue> ServerConnection::Remove(const std::string& name) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("delete").String(name);
+  json.EndObject();
+  return Call(json.str());
+}
+
 std::string LoadReport::ToString() const {
   char buffer[512];
   double seconds = elapsed_ms / 1000.0;

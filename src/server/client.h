@@ -39,6 +39,10 @@ class ServerConnection {
   Result<JsonValue> Admin(const std::string& verb,
                           const std::string& reload_path = "");
 
+  /// Real-time writes (docs/INDEXING.md; the server must run with --rt).
+  Result<JsonValue> Insert(const std::string& name, const std::string& xml);
+  Result<JsonValue> Remove(const std::string& name);
+
   bool connected() const { return fd_ >= 0; }
   void Close();
 

@@ -31,9 +31,13 @@ void OnHangup(int) {
 
 int ServeUsage() {
   std::fprintf(stderr,
-               "usage: gks serve <index.gksidx> [--port=N] [--host=H]\n"
+               "usage: gks serve [<index.gksidx>] [--port=N] [--host=H]\n"
                "        [--threads=N] [--queue=N] [--deadline-ms=D]\n"
-               "        [--cache=CAP] [--max-request-bytes=N] [--mmap]\n");
+               "        [--cache=CAP] [--max-request-bytes=N] [--mmap]\n"
+               "        [--rt=DIR] [--rt-flush-docs=N] [--rt-flush-bytes=N]\n"
+               "        [--rt-merge-fanout=N] [--rt-fsync=always|off]\n"
+               "(an index file, --rt, or both; with both, the file is the\n"
+               " immutable base the real-time index grows from)\n");
   return 2;
 }
 
@@ -41,9 +45,12 @@ int ClientUsage() {
   std::fprintf(
       stderr,
       "usage: gks client [--host=H] [--port=N]\n"
-      "        --admin=health|metrics|stats|reload|quit [--path=P]\n"
+      "        --admin=health|metrics|stats|reload|flush|quit [--path=P]\n"
       "      | --query=\"<query>\" [--s=N] [--top=N] [--top-k=K] [--explain]\n"
       "        [--plan=auto|merge|probe|hybrid]\n"
+      "      | --insert-file=DOC.xml [--name=N]   (real-time insert;\n"
+      "        name defaults to the file's basename)\n"
+      "      | --delete=NAME                      (real-time delete)\n"
       "      | --queries=FILE [--connections=C] [--requests=N]\n"
       "        [--s=N] [--top=N] [--top-k=K] "
       "[--plan=auto|merge|probe|hybrid]\n");
@@ -54,7 +61,6 @@ int ClientUsage() {
 
 int RunServeCommand(const FlagParser& flags) {
   const auto& args = flags.positional();
-  if (args.size() < 2) return ServeUsage();
 
   ServerConfig config;
   config.host = flags.GetString("host", "127.0.0.1");
@@ -66,8 +72,25 @@ int RunServeCommand(const FlagParser& flags) {
   config.max_request_bytes =
       static_cast<size_t>(flags.GetInt("max-request-bytes", 1 << 20));
   config.mmap = flags.GetBool("mmap");
+  config.rt_dir = flags.GetString("rt", "");
+  config.rt_flush_docs =
+      static_cast<size_t>(flags.GetInt("rt-flush-docs", 512));
+  config.rt_flush_bytes =
+      static_cast<size_t>(flags.GetInt("rt-flush-bytes", 8 << 20));
+  config.rt_merge_fanout =
+      static_cast<size_t>(flags.GetInt("rt-merge-fanout", 4));
+  std::string rt_fsync = flags.GetString("rt-fsync", "always");
+  if (rt_fsync != "always" && rt_fsync != "off") {
+    std::fprintf(stderr, "error: --rt-fsync must be 'always' or 'off'\n");
+    return 2;
+  }
+  config.rt_fsync = rt_fsync == "always";
 
-  GksServer server(config, args[1]);
+  // The positional index is optional when --rt gives the server a home;
+  // with both, the file serves as the immutable base segment.
+  if (args.size() < 2 && config.rt_dir.empty()) return ServeUsage();
+
+  GksServer server(config, args.size() >= 2 ? args[1] : std::string());
   if (Status status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
@@ -170,6 +193,19 @@ int RunClientCommand(const FlagParser& flags) {
                   (long long)(index->Find("postings")
                                   ? index->Find("postings")->GetInt() : 0));
     }
+    if (const JsonValue* rt = response->Find("rt")) {
+      auto field = [rt](const char* key) -> long long {
+        const JsonValue* value = rt->Find(key);
+        return value != nullptr ? (long long)value->GetInt() : 0;
+      };
+      std::printf("rt    : %lld live docs (%lld in ram, %lld segments, "
+                  "%lld tombstones), wal_records=%lld replayed=%lld "
+                  "flushes=%lld merges=%lld purged=%lld\n",
+                  field("live_docs"), field("ram_docs"),
+                  field("disk_segments"), field("tombstones"),
+                  field("wal_records"), field("replayed_records"),
+                  field("flushes"), field("merges"), field("purged_docs"));
+    }
     if (const JsonValue* metrics = response->Find("metrics")) {
       // Metrics come back as a full registry snapshot; print counter
       // lines, which is what operators grep for.
@@ -246,6 +282,79 @@ int RunClientCommand(const FlagParser& flags) {
       }
     }
     return 0;
+  }
+
+  if (flags.Has("insert-file")) {
+    std::string path = flags.GetString("insert-file", "");
+    std::string xml;
+    if (Status status = xml::ReadFileToString(path, &xml); !status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::string name = flags.GetString("name", "");
+    if (name.empty()) {
+      size_t slash = path.find_last_of('/');
+      name = slash == std::string::npos ? path : path.substr(slash + 1);
+    }
+    Result<ServerConnection> connection = ServerConnection::Open(host, port);
+    if (!connection.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   connection.status().ToString().c_str());
+      return 1;
+    }
+    Result<JsonValue> response = connection->Insert(name, xml);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const JsonValue* ok = response->Find("ok");
+    if (ok == nullptr || !ok->GetBool()) {
+      const JsonValue* error = response->Find("error");
+      const JsonValue* message = response->Find("message");
+      std::fprintf(stderr, "error: %s: %s\n",
+                   error ? error->GetString().c_str() : "unknown",
+                   message ? message->GetString().c_str() : "");
+      return 1;
+    }
+    std::printf("inserted %s as doc %lld (epoch %lld)\n", name.c_str(),
+                (long long)(response->Find("doc_id")
+                                ? response->Find("doc_id")->GetInt() : -1),
+                (long long)(response->Find("epoch")
+                                ? response->Find("epoch")->GetInt() : 0));
+    return 0;
+  }
+
+  if (flags.Has("delete")) {
+    Result<ServerConnection> connection = ServerConnection::Open(host, port);
+    if (!connection.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   connection.status().ToString().c_str());
+      return 1;
+    }
+    std::string name = flags.GetString("delete", "");
+    Result<JsonValue> response = connection->Remove(name);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const JsonValue* ok = response->Find("ok");
+    if (ok == nullptr || !ok->GetBool()) {
+      const JsonValue* error = response->Find("error");
+      const JsonValue* message = response->Find("message");
+      std::fprintf(stderr, "error: %s: %s\n",
+                   error ? error->GetString().c_str() : "unknown",
+                   message ? message->GetString().c_str() : "");
+      return 1;
+    }
+    bool found = response->Find("found") != nullptr &&
+                 response->Find("found")->GetBool();
+    std::printf("delete %s: %s (epoch %lld)\n", name.c_str(),
+                found ? "deleted" : "not found",
+                (long long)(response->Find("epoch")
+                                ? response->Find("epoch")->GetInt() : 0));
+    return found ? 0 : 1;
   }
 
   if (flags.Has("queries")) {

@@ -17,6 +17,16 @@ bool IsKnownAdminField(std::string_view key) {
   return key == "cmd" || key == "path" || key == "id";
 }
 
+/// Fields an insert request may carry.
+bool IsKnownInsertField(std::string_view key) {
+  return key == "insert" || key == "xml" || key == "id";
+}
+
+/// Fields a delete request may carry.
+bool IsKnownDeleteField(std::string_view key) {
+  return key == "delete" || key == "id";
+}
+
 Status ParseId(const JsonValue& id, WireRequest* out) {
   if (id.is_string()) {
     out->has_id = true;
@@ -67,6 +77,7 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
     else if (verb == "metrics") request.verb = AdminVerb::kMetrics;
     else if (verb == "stats") request.verb = AdminVerb::kStats;
     else if (verb == "reload") request.verb = AdminVerb::kReload;
+    else if (verb == "flush") request.verb = AdminVerb::kFlush;
     else if (verb == "quit") request.verb = AdminVerb::kQuit;
     else {
       return Status::InvalidArgument("unknown admin cmd '" + verb + "'");
@@ -80,6 +91,45 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       }
       request.reload_path = path->GetString();
     }
+    return request;
+  }
+
+  if (const JsonValue* insert = root.Find("insert")) {
+    request.is_write = true;
+    request.write_verb = WriteVerb::kInsert;
+    for (const auto& [key, value] : root.members()) {
+      (void)value;
+      if (!IsKnownInsertField(key)) {
+        return Status::InvalidArgument("unknown insert field '" + key + "'");
+      }
+    }
+    if (!insert->is_string() || insert->GetString().empty()) {
+      return Status::InvalidArgument(
+          "'insert' must be a non-empty document name");
+    }
+    request.doc_name = insert->GetString();
+    const JsonValue* xml = root.Find("xml");
+    if (xml == nullptr || !xml->is_string() || xml->GetString().empty()) {
+      return Status::InvalidArgument(
+          "insert needs a non-empty string 'xml' body");
+    }
+    request.doc_xml = xml->GetString();
+    return request;
+  }
+  if (const JsonValue* remove = root.Find("delete")) {
+    request.is_write = true;
+    request.write_verb = WriteVerb::kDelete;
+    for (const auto& [key, value] : root.members()) {
+      (void)value;
+      if (!IsKnownDeleteField(key)) {
+        return Status::InvalidArgument("unknown delete field '" + key + "'");
+      }
+    }
+    if (!remove->is_string() || remove->GetString().empty()) {
+      return Status::InvalidArgument(
+          "'delete' must be a non-empty document name");
+    }
+    request.doc_name = remove->GetString();
     return request;
   }
 
@@ -146,10 +196,15 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
   return request;
 }
 
-std::string WireResponseBuilder::Query(const WireRequest& request,
-                                       const SearchResponse& response,
-                                       const XmlIndex& index, uint64_t epoch,
-                                       double elapsed_ms) {
+namespace {
+
+/// Shared body of the two Query overloads: `doc_name` and `describe`
+/// resolve a node against whatever index form the caller searched.
+template <typename DocNameFn, typename DescribeFn>
+std::string BuildQueryResponse(const WireRequest& request,
+                               const SearchResponse& response, uint64_t epoch,
+                               double elapsed_ms, DocNameFn&& doc_name,
+                               DescribeFn&& describe) {
   JsonWriter json;
   json.BeginObject();
   json.Key("ok").Bool(true);
@@ -165,11 +220,11 @@ std::string WireResponseBuilder::Query(const WireRequest& request,
   for (const GksNode& node : response.nodes) {
     json.BeginObject();
     json.Key("id").String(node.id.ToString());
-    json.Key("doc").String(index.catalog.document(node.id.doc_id()).name);
+    json.Key("doc").String(doc_name(node));
     json.Key("lce").Bool(node.is_lce);
     json.Key("keywords").UInt(node.keyword_count);
     json.Key("rank").Double(node.rank);
-    json.Key("describe").String(DescribeNode(index, node));
+    json.Key("describe").String(describe(node));
     json.EndObject();
   }
   json.EndArray();
@@ -202,6 +257,64 @@ std::string WireResponseBuilder::Query(const WireRequest& request,
   if (request.explain) {
     json.Key("explain").Raw(ExplainJson(response));
   }
+  json.EndObject();
+  return json.Take();
+}
+
+}  // namespace
+
+std::string WireResponseBuilder::Query(const WireRequest& request,
+                                       const SearchResponse& response,
+                                       const XmlIndex& index, uint64_t epoch,
+                                       double elapsed_ms) {
+  return BuildQueryResponse(
+      request, response, epoch, elapsed_ms,
+      [&](const GksNode& node) -> const std::string& {
+        return index.catalog.document(node.id.doc_id()).name;
+      },
+      [&](const GksNode& node) { return DescribeNode(index, node); });
+}
+
+std::string WireResponseBuilder::Query(const WireRequest& request,
+                                       const SearchResponse& response,
+                                       const SegmentSetSnapshot& snapshot,
+                                       uint64_t epoch, double elapsed_ms) {
+  return BuildQueryResponse(
+      request, response, epoch, elapsed_ms,
+      [&](const GksNode& node) -> std::string {
+        const Catalog::DocumentInfo* info =
+            snapshot.Document(node.id.doc_id());
+        return info != nullptr ? info->name : "?";
+      },
+      [&](const GksNode& node) { return DescribeNode(snapshot, node); });
+}
+
+std::string WireResponseBuilder::Inserted(const WireRequest& request,
+                                          uint32_t doc_id, uint64_t epoch,
+                                          double elapsed_ms) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  EmitId(request, &json);
+  json.Key("status").String("inserted");
+  json.Key("doc").String(request.doc_name);
+  json.Key("doc_id").UInt(doc_id);
+  json.Key("epoch").UInt(epoch);
+  json.Key("elapsed_ms").Double(elapsed_ms);
+  json.EndObject();
+  return json.Take();
+}
+
+std::string WireResponseBuilder::Deleted(const WireRequest& request,
+                                         bool found, uint64_t epoch) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  EmitId(request, &json);
+  json.Key("status").String("deleted");
+  json.Key("doc").String(request.doc_name);
+  json.Key("found").Bool(found);
+  json.Key("epoch").UInt(epoch);
   json.EndObject();
   return json.Take();
 }

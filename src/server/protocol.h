@@ -8,6 +8,7 @@
 #include "common/json_value.h"
 #include "common/result.h"
 #include "core/searcher.h"
+#include "core/segment_search.h"
 
 namespace gks {
 
@@ -28,6 +29,10 @@ inline constexpr std::string_view kDeadlineExceeded = "deadline_exceeded";
 inline constexpr std::string_view kSearchFailed = "search_failed";
 inline constexpr std::string_view kReloadFailed = "reload_failed";
 inline constexpr std::string_view kShuttingDown = "shutting_down";
+inline constexpr std::string_view kRtDisabled = "rt_disabled";
+inline constexpr std::string_view kDocExists = "doc_exists";
+inline constexpr std::string_view kInvalidDocument = "invalid_document";
+inline constexpr std::string_view kWalFailed = "wal_failed";
 }  // namespace wire_error
 
 /// Admin verbs (`{"cmd": "..."}` requests).
@@ -36,10 +41,18 @@ enum class AdminVerb {
   kMetrics,  // full metrics-registry snapshot (JSON form)
   kStats,    // index-level stats: documents, terms, postings, epoch
   kReload,   // swap in a freshly loaded index (optional "path" override)
+  kFlush,    // real-time mode: seal + flush RAM segments to disk
   kQuit,     // acknowledge, then drain and exit
 };
 
-/// A parsed request: exactly one of `is_admin` (admin verb) or a query.
+/// Write verbs (real-time mode, docs/INDEXING.md).
+enum class WriteVerb {
+  kInsert,  // {"insert": "<name>", "xml": "<document>"}
+  kDelete,  // {"delete": "<name>"}
+};
+
+/// A parsed request: exactly one of `is_admin` (admin verb), `is_write`
+/// (real-time insert/delete), or a query.
 struct WireRequest {
   // Echoed verbatim into the response when present: the client's
   // correlation id (JSON string or integer).
@@ -51,6 +64,11 @@ struct WireRequest {
   bool is_admin = false;
   AdminVerb verb = AdminVerb::kHealth;
   std::string reload_path;  // optional "path" of a reload
+
+  bool is_write = false;
+  WriteVerb write_verb = WriteVerb::kInsert;
+  std::string doc_name;  // catalog name of the document
+  std::string doc_xml;   // raw XML body (insert only)
 
   std::string query;      // query text (same syntax as `gks search`)
   SearchOptions options;  // s / top / di / refine mapped onto the engine
@@ -74,6 +92,24 @@ class WireResponseBuilder {
                            const SearchResponse& response,
                            const XmlIndex& index, uint64_t epoch,
                            double elapsed_ms);
+
+  /// Query envelope over a real-time segment set: identical schema, with
+  /// document names and node descriptions resolved through the snapshot.
+  static std::string Query(const WireRequest& request,
+                           const SearchResponse& response,
+                           const SegmentSetSnapshot& snapshot, uint64_t epoch,
+                           double elapsed_ms);
+
+  /// Insert ack: {"ok":true,"status":"inserted","doc":...,"doc_id":N,
+  /// "epoch":E,"elapsed_ms":...}. The document is searchable at `epoch`.
+  static std::string Inserted(const WireRequest& request, uint32_t doc_id,
+                              uint64_t epoch, double elapsed_ms);
+
+  /// Delete ack: {"ok":true,"status":"deleted","doc":...,"found":bool,
+  /// "epoch":E}. `found` false means no live document had the name
+  /// (idempotent success, not an error).
+  static std::string Deleted(const WireRequest& request, bool found,
+                             uint64_t epoch);
 
   /// Failure envelope: {"ok":false,"error":"<code>","message":...} with
   /// the request id echoed when known.

@@ -37,6 +37,7 @@ GksServer::GksServer(ServerConfig config, std::string index_path)
   MetricsRegistry& registry = MetricsRegistry::Global();
   requests_total_ = registry.GetCounter("gks.server.requests_total");
   queries_total_ = registry.GetCounter("gks.server.queries_total");
+  writes_total_ = registry.GetCounter("gks.server.writes_total");
   admin_total_ = registry.GetCounter("gks.server.admin_total");
   shed_total_ = registry.GetCounter("gks.server.shed_total");
   deadline_exceeded_total_ =
@@ -58,6 +59,17 @@ GksServer::~GksServer() {
 }
 
 Status GksServer::Start() {
+  if (!config_.rt_dir.empty()) {
+    RtOptions options;
+    options.dir = config_.rt_dir;
+    options.base_index_path = index_state_.path();
+    options.mmap = config_.mmap;
+    options.flush_docs = config_.rt_flush_docs;
+    options.flush_bytes = config_.rt_flush_bytes;
+    options.merge_fanout = config_.rt_merge_fanout;
+    options.fsync = config_.rt_fsync;
+    index_state_.EnableRt(std::move(options));
+  }
   GKS_RETURN_IF_ERROR(index_state_.Load());
   if (config_.cache_capacity > 0) {
     cache_ = std::make_unique<QueryResultCache>(config_.cache_capacity);
@@ -203,6 +215,11 @@ bool GksServer::HandleLine(Connection* connection, const std::string& line) {
       RequestShutdown();
       keep_open = false;
     }
+  } else if (parsed->is_write) {
+    // Inline on the connection thread: commits serialize inside the
+    // RtIndex anyway, and the rt.commit span lands in this collector.
+    writes_total_->Increment();
+    response = HandleWrite(*parsed);
   } else {
     queries_total_->Increment();
     auto admitted = std::chrono::steady_clock::now();
@@ -284,6 +301,23 @@ std::string GksServer::RunQuery(
   }
   TraceCollector collector("gks");
   ScopedSpan span("server.search");
+  if (index_state_.rt()) {
+    std::shared_ptr<const SegmentSetSnapshot> snapshot =
+        index_state_.rt_snapshot();
+    SegmentSearcher searcher(snapshot);
+    searcher.set_cache(cache_.get());
+    WallTimer timer;
+    Result<SearchResponse> response =
+        searcher.Search(request.query, request.options);
+    if (!response.ok()) {
+      errors_total_->Increment();
+      return WireResponseBuilder::Error(&request, wire_error::kSearchFailed,
+                                        response.status().ToString());
+    }
+    span.AddItems(response->nodes.size());
+    return WireResponseBuilder::Query(request, *response, *snapshot,
+                                      snapshot->epoch, timer.ElapsedMillis());
+  }
   std::shared_ptr<const XmlIndex> snapshot = index_state_.snapshot();
   GksSearcher searcher(snapshot.get());
   searcher.set_cache(cache_.get());
@@ -298,6 +332,53 @@ std::string GksServer::RunQuery(
   span.AddItems(response->nodes.size());
   return WireResponseBuilder::Query(request, *response, *snapshot,
                                     snapshot->epoch, timer.ElapsedMillis());
+}
+
+std::string GksServer::HandleWrite(const WireRequest& request) {
+  if (!index_state_.rt()) {
+    errors_total_->Increment();
+    return WireResponseBuilder::Error(
+        &request, wire_error::kRtDisabled,
+        "server was started without --rt; writes need a real-time index");
+  }
+  if (request.write_verb == WriteVerb::kInsert) {
+    WallTimer timer;
+    Result<uint32_t> doc_id =
+        index_state_.RtInsert(request.doc_name, request.doc_xml);
+    if (!doc_id.ok()) {
+      errors_total_->Increment();
+      std::string_view code = wire_error::kSearchFailed;
+      switch (doc_id.status().code()) {
+        case StatusCode::kAlreadyExists:
+          code = wire_error::kDocExists;
+          break;
+        case StatusCode::kInvalidArgument:
+        case StatusCode::kCorruption:
+          code = wire_error::kInvalidDocument;
+          break;
+        case StatusCode::kIOError:
+          code = wire_error::kWalFailed;
+          break;
+        default:
+          break;
+      }
+      return WireResponseBuilder::Error(&request, code,
+                                        doc_id.status().ToString());
+    }
+    return WireResponseBuilder::Inserted(request, *doc_id,
+                                         index_state_.epoch(),
+                                         timer.ElapsedMillis());
+  }
+  Result<bool> found = index_state_.RtDelete(request.doc_name);
+  if (!found.ok()) {
+    errors_total_->Increment();
+    std::string_view code = found.status().code() == StatusCode::kIOError
+                                ? wire_error::kWalFailed
+                                : wire_error::kSearchFailed;
+    return WireResponseBuilder::Error(&request, code,
+                                      found.status().ToString());
+  }
+  return WireResponseBuilder::Deleted(request, *found, index_state_.epoch());
 }
 
 std::string GksServer::HandleAdmin(const WireRequest& request) {
@@ -323,6 +404,32 @@ std::string GksServer::HandleAdmin(const WireRequest& request) {
           request, "ok", index_state_.epoch(), "metrics",
           MetricsRegistry::Global().Snapshot().ToJson());
     case AdminVerb::kStats: {
+      if (index_state_.rt()) {
+        Result<RtStats> rt = index_state_.GetRtStats();
+        if (!rt.ok()) {
+          return WireResponseBuilder::Error(&request,
+                                            wire_error::kSearchFailed,
+                                            rt.status().ToString());
+        }
+        JsonWriter stats;
+        stats.BeginObject();
+        stats.Key("path").String(index_state_.path());
+        stats.Key("live_docs").UInt(rt->live_docs);
+        stats.Key("ram_docs").UInt(rt->ram_docs);
+        stats.Key("ram_bytes").UInt(rt->ram_bytes);
+        stats.Key("disk_segments").UInt(rt->disk_segments);
+        stats.Key("tombstones").UInt(rt->tombstones);
+        stats.Key("next_doc_id").UInt(rt->next_doc_id);
+        stats.Key("wal_records").UInt(rt->wal_records);
+        stats.Key("replayed_records").UInt(rt->replayed_records);
+        stats.Key("flushes").UInt(rt->flushes);
+        stats.Key("merges").UInt(rt->merges);
+        stats.Key("purged_docs").UInt(rt->purged_docs);
+        stats.EndObject();
+        return WireResponseBuilder::Admin(request, "ok",
+                                          index_state_.epoch(), "rt",
+                                          stats.str());
+      }
       std::shared_ptr<const XmlIndex> snapshot = index_state_.snapshot();
       JsonWriter stats;
       stats.BeginObject();
@@ -334,6 +441,21 @@ std::string GksServer::HandleAdmin(const WireRequest& request) {
       stats.EndObject();
       return WireResponseBuilder::Admin(request, "ok", snapshot->epoch,
                                         "index", stats.str());
+    }
+    case AdminVerb::kFlush: {
+      if (!index_state_.rt()) {
+        errors_total_->Increment();
+        return WireResponseBuilder::Error(
+            &request, wire_error::kRtDisabled,
+            "flush needs a real-time index (--rt)");
+      }
+      if (Status status = index_state_.RtFlush(); !status.ok()) {
+        errors_total_->Increment();
+        return WireResponseBuilder::Error(&request, wire_error::kWalFailed,
+                                          status.ToString());
+      }
+      return WireResponseBuilder::Admin(request, "flushed",
+                                        index_state_.epoch());
     }
     case AdminVerb::kReload: {
       Result<uint64_t> epoch = index_state_.Reload(request.reload_path);

@@ -44,6 +44,19 @@ struct ServerConfig {
   size_t max_request_bytes = 1 << 20;
   /// Open the index with LoadIndexMapped instead of the eager loader.
   bool mmap = false;
+
+  /// Real-time mode (docs/INDEXING.md): non-empty enables the updatable
+  /// index homed in this directory; the positional index file (if any)
+  /// becomes the immutable base segment.
+  std::string rt_dir;
+  /// Seal + flush the RAM window at this many documents…
+  size_t rt_flush_docs = 512;
+  /// …or this many bytes of raw XML, whichever comes first.
+  size_t rt_flush_bytes = 8u << 20;
+  /// Size-tiered merge fanout; 0 disables background merging.
+  size_t rt_merge_fanout = 4;
+  /// Fsync the WAL on every commit (--rt-fsync=always|off).
+  bool rt_fsync = true;
 };
 
 /// The long-running query server: a TCP listener speaking the
@@ -102,6 +115,9 @@ class GksServer {
   /// connection must close (protocol breakdown or quit/drain).
   bool HandleLine(Connection* connection, const std::string& line);
   std::string HandleAdmin(const WireRequest& request);
+  /// Real-time insert/delete, run inline on the connection thread (the
+  /// RtIndex serializes commits; parking a worker would add nothing).
+  std::string HandleWrite(const WireRequest& request);
   std::string RunQuery(const WireRequest& request,
                        std::chrono::steady_clock::time_point admitted);
   void DrainAndCloseConnections();
@@ -131,6 +147,7 @@ class GksServer {
   // Cached instrument pointers (hot path).
   Counter* requests_total_;
   Counter* queries_total_;
+  Counter* writes_total_;
   Counter* admin_total_;
   Counter* shed_total_;
   Counter* deadline_exceeded_total_;

@@ -1,0 +1,118 @@
+// Size-tiered merge policy + docstore merge (docs/INDEXING.md § Segment
+// lifecycle): tier bucketing, deterministic input selection, and the
+// tombstone-purging renumber with its id translation map.
+
+#include "index/segment_merge.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gks {
+namespace {
+
+constexpr uint64_t kKiB = 1024;
+
+RtDocument Doc(uint32_t doc_id, std::string name, std::string xml) {
+  RtDocument doc;
+  doc.doc_id = doc_id;
+  doc.name = std::move(name);
+  doc.xml = std::move(xml);
+  return doc;
+}
+
+TEST(SizeTierTest, BucketsGeometrically) {
+  // Tier 0 spans (0, 64KiB]; each tier above quadruples the ceiling.
+  EXPECT_EQ(SizeTier(0), 0u);
+  EXPECT_EQ(SizeTier(1), 0u);
+  EXPECT_EQ(SizeTier(64 * kKiB), 0u);
+  EXPECT_EQ(SizeTier(64 * kKiB + 1), 1u);
+  EXPECT_EQ(SizeTier(256 * kKiB), 1u);
+  EXPECT_EQ(SizeTier(256 * kKiB + 1), 2u);
+  EXPECT_EQ(SizeTier(1024 * kKiB), 2u);
+}
+
+TEST(SizeTierTest, IsMonotonic) {
+  size_t previous = 0;
+  for (uint64_t bytes = 1; bytes < (1ull << 34); bytes *= 3) {
+    size_t tier = SizeTier(bytes);
+    EXPECT_GE(tier, previous) << bytes;
+    previous = tier;
+  }
+}
+
+TEST(PickMergeInputsTest, EmptyWhenDisabledOrUnderFull) {
+  EXPECT_TRUE(PickMergeInputs({100, 100, 100, 100}, 0).empty());
+  EXPECT_TRUE(PickMergeInputs({100, 100, 100, 100}, 1).empty());
+  // Three members per tier, fanout 4: no tier is full.
+  EXPECT_TRUE(
+      PickMergeInputs({100, 100, 100, 500 * kKiB, 500 * kKiB, 500 * kKiB}, 4)
+          .empty());
+  EXPECT_TRUE(PickMergeInputs({}, 4).empty());
+}
+
+TEST(PickMergeInputsTest, PrefersTheSmallestFullTier) {
+  // Tier 2 (500KiB) is full at fanout 2, and so is tier 0 (tiny) — the
+  // smaller tier must win so merges stay cheap and cascade upward.
+  std::vector<uint64_t> bytes = {500 * kKiB, 10, 500 * kKiB, 20};
+  std::vector<size_t> picked = PickMergeInputs(bytes, 2);
+  EXPECT_EQ(picked, (std::vector<size_t>{1, 3}));
+}
+
+TEST(PickMergeInputsTest, PicksTheSmallestMembersOldestFirstOnTies) {
+  // Five tier-0 members, fanout 3: the three smallest; the two 10-byte
+  // ties resolve oldest-first (stable sort by position).
+  std::vector<uint64_t> bytes = {30, 10, 40, 10, 20};
+  std::vector<size_t> picked = PickMergeInputs(bytes, 3);
+  EXPECT_EQ(picked, (std::vector<size_t>{1, 3, 4}));
+  // Deterministic: same input, same answer.
+  EXPECT_EQ(PickMergeInputs(bytes, 3), picked);
+}
+
+TEST(MergeDocstoresTest, RenumbersSurvivorsDensely) {
+  std::vector<std::vector<RtDocument>> inputs = {
+      {Doc(5, "a.xml", "<a/>"), Doc(6, "b.xml", "<b/>")},
+      {Doc(9, "c.xml", "<c/>")},
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> id_map;
+  std::vector<RtDocument> merged =
+      MergeDocstores(inputs, /*tombstones_sorted=*/{}, /*new_first=*/20,
+                     &id_map);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], Doc(20, "a.xml", "<a/>"));
+  EXPECT_EQ(merged[1], Doc(21, "b.xml", "<b/>"));
+  EXPECT_EQ(merged[2], Doc(22, "c.xml", "<c/>"));
+  EXPECT_EQ(id_map, (std::vector<std::pair<uint32_t, uint32_t>>{
+                        {5, 20}, {6, 21}, {9, 22}}));
+}
+
+TEST(MergeDocstoresTest, PurgesTombstonedDocuments) {
+  std::vector<std::vector<RtDocument>> inputs = {
+      {Doc(0, "a.xml", "<a/>"), Doc(1, "b.xml", "<b/>")},
+      {Doc(2, "c.xml", "<c/>"), Doc(3, "d.xml", "<d/>")},
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> id_map;
+  std::vector<RtDocument> merged =
+      MergeDocstores(inputs, /*tombstones_sorted=*/{1, 2}, /*new_first=*/0,
+                     &id_map);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], Doc(0, "a.xml", "<a/>"));
+  EXPECT_EQ(merged[1], Doc(1, "d.xml", "<d/>"));
+  // The map names survivors only — a tombstone has no new id to map to.
+  EXPECT_EQ(id_map, (std::vector<std::pair<uint32_t, uint32_t>>{
+                        {0, 0}, {3, 1}}));
+}
+
+TEST(MergeDocstoresTest, AllPurgedYieldsEmptySegment) {
+  std::vector<std::vector<RtDocument>> inputs = {
+      {Doc(0, "a.xml", "<a/>")},
+  };
+  std::vector<RtDocument> merged =
+      MergeDocstores(inputs, {0}, /*new_first=*/7, nullptr);
+  EXPECT_TRUE(merged.empty());
+}
+
+}  // namespace
+}  // namespace gks
