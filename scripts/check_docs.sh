@@ -21,6 +21,13 @@
 #      docs/INDEXING.md must match the `gks.rt.*` literals in src/ and
 #      tools/, both directions.
 #   9. Relative markdown links in docs/INDEXING.md must resolve.
+#  10. The coordinator flags documented between the coord-flags markers
+#      of docs/DISTRIBUTED.md must match the `--coord-*` / `--doc-base`
+#      flags the serve command reads, both directions.
+#  11. The metric names between the coord-metrics markers of
+#      docs/DISTRIBUTED.md must match the `gks.coord.*` literals in src/
+#      and tools/, both directions.
+#  12. Relative markdown links in docs/DISTRIBUTED.md must resolve.
 #
 # Usage: check_docs.sh [repo-root]   (defaults to the script's parent)
 
@@ -30,6 +37,7 @@ root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 doc="$root/docs/OBSERVABILITY.md"
 server_doc="$root/docs/SERVER.md"
 indexing_doc="$root/docs/INDEXING.md"
+distributed_doc="$root/docs/DISTRIBUTED.md"
 fail=0
 
 if [[ ! -f "$doc" ]]; then
@@ -42,6 +50,10 @@ if [[ ! -f "$server_doc" ]]; then
 fi
 if [[ ! -f "$indexing_doc" ]]; then
   echo "check_docs: missing $indexing_doc" >&2
+  exit 1
+fi
+if [[ ! -f "$distributed_doc" ]]; then
+  echo "check_docs: missing $distributed_doc" >&2
   exit 1
 fi
 
@@ -208,6 +220,70 @@ while IFS= read -r link; do
 done < <(grep -oE '\]\([^)]+\)' "$indexing_doc" | sed 's/^](//; s/)$//' \
          | grep -vE '^(https?:|#)' | sort -u)
 
+# 10. coordinator flags: docs/DISTRIBUTED.md coord-flags block <-> the
+# serve command's --coord-* / --doc-base flags, both ways
+coord_doc_flags=$(extract_block "coord-flags" "$distributed_doc" \
+  | sed 's/^--//')
+if [[ -z "$coord_doc_flags" ]]; then
+  echo "check_docs: no flags found between coord-flags markers in" \
+       "docs/DISTRIBUTED.md" >&2
+  fail=1
+fi
+coord_src_flags=$(grep -E '^(coord-|doc-base$)' <<<"$src_flags" || true)
+for name in $coord_doc_flags; do
+  if ! grep -qx "$name" <<<"$coord_src_flags"; then
+    echo "check_docs: flag '--$name' is documented in docs/DISTRIBUTED.md" \
+         "but never read by the serve command" >&2
+    fail=1
+  fi
+done
+for name in $coord_src_flags; do
+  if ! grep -qx "$name" <<<"$coord_doc_flags"; then
+    echo "check_docs: serve flag '--$name' is read in" \
+         "src/server/command.cc but not documented in the coord-flags" \
+         "block of docs/DISTRIBUTED.md" >&2
+    fail=1
+  fi
+done
+
+# 11. coordinator metrics: docs/DISTRIBUTED.md coord-metrics block <->
+# gks.coord.* literals, both ways
+coord_doc_metrics=$(extract_block "coord-metrics" "$distributed_doc")
+if [[ -z "$coord_doc_metrics" ]]; then
+  echo "check_docs: no metrics found between coord-metrics markers in" \
+       "docs/DISTRIBUTED.md" >&2
+  fail=1
+fi
+coord_src_metrics=$(grep -rhoE '"gks\.coord\.[a-z0-9_.]+"' "$root/src" \
+    "$root/tools" | tr -d '"' | sort -u)
+for name in $coord_doc_metrics; do
+  if ! grep -qx "$name" <<<"$coord_src_metrics"; then
+    echo "check_docs: metric '$name' is documented in docs/DISTRIBUTED.md" \
+         "but not found in src/ or tools/" >&2
+    fail=1
+  fi
+done
+for name in $coord_src_metrics; do
+  if ! grep -qx "$name" <<<"$coord_doc_metrics"; then
+    echo "check_docs: metric '$name' is registered in the source tree" \
+         "but not documented in the coord-metrics block of" \
+         "docs/DISTRIBUTED.md" >&2
+    fail=1
+  fi
+done
+
+# 12. relative links in docs/DISTRIBUTED.md must resolve
+while IFS= read -r link; do
+  target="${link%%#*}"
+  [[ -z "$target" ]] && continue  # pure fragment
+  if [[ ! -e "$root/docs/$target" ]]; then
+    echo "check_docs: docs/DISTRIBUTED.md links to '$link' but" \
+         "docs/$target does not exist" >&2
+    fail=1
+  fi
+done < <(grep -oE '\]\([^)]+\)' "$distributed_doc" | sed 's/^](//; s/)$//' \
+         | grep -vE '^(https?:|#)' | sort -u)
+
 if [[ "$fail" -ne 0 ]]; then
   echo "check_docs: FAILED — update the docs or the source" >&2
   exit 1
@@ -217,4 +293,6 @@ echo "check_docs: OK ($(wc -w <<<"$doc_spans") spans," \
      "$(wc -w <<<"$doc_flags") serve flags," \
      "$(wc -w <<<"$doc_errors") error codes," \
      "$(wc -w <<<"$rt_doc_flags") rt flags," \
-     "$(wc -w <<<"$rt_doc_metrics") rt metrics verified)"
+     "$(wc -w <<<"$rt_doc_metrics") rt metrics," \
+     "$(wc -w <<<"$coord_doc_flags") coord flags," \
+     "$(wc -w <<<"$coord_doc_metrics") coord metrics verified)"

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

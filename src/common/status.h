@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotSupported,
   kOutOfRange,
   kAlreadyExists,   // duplicate document name on real-time insert
+  kDeadlineExceeded,  // a budgeted operation (shard fan-out) ran out of time
 };
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
@@ -47,6 +48,9 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

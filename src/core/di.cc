@@ -102,9 +102,15 @@ std::vector<DiKeyword> DiscoverDi(const XmlIndex& index,
     (void)key;
     out.push_back(std::move(di));
   }
+  // The path leg totalizes the order: distinct (tag, value) keys with the
+  // same weight and value string still differ in the attribute tag — the
+  // path's last element. Without it, ties would surface in accumulation-
+  // map order, which differs between this numeric-keyed walk and the
+  // string-keyed cross-segment/cross-shard replays (core/shard_merge.cc).
   std::sort(out.begin(), out.end(), [](const DiKeyword& a, const DiKeyword& b) {
     if (a.weight != b.weight) return a.weight > b.weight;
-    return a.value < b.value;
+    if (a.value != b.value) return a.value < b.value;
+    return a.path < b.path;
   });
   if (out.size() > options.top_m) out.resize(options.top_m);
   return out;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,52 @@ bool LowestEntityComponents(const XmlIndex& index, DeweySpan id,
   return false;
 }
 
+/// Enumerates the DI-qualifying attribute occurrences of one LCE node —
+/// owned by the node's entity, value free of query terms, clamped at
+/// max_attrs_per_node — in attribute-directory order, calling
+/// `fn(tag_name, value, path)` for each. The single shared definition of
+/// "what DiscoverDi would accumulate for this node", used by the
+/// cross-segment discovery below and by the shard wire protocol's
+/// per-node contribution lists (ComputeDiContributions).
+template <typename Fn>
+void ForEachOwnedDiAttr(const XmlIndex& index, const GksNode& node,
+                        const Query& query, const DiOptions& options,
+                        Fn&& fn) {
+  DeweySpan entity = DeweySpan::Of(node.id);
+  auto [begin, end] = index.attributes.SubtreeRange(entity);
+  end = std::min(end, begin + options.max_attrs_per_node);
+  for (size_t i = begin; i < end; ++i) {
+    DeweySpan attr_id = index.attributes.IdAt(i);
+    std::vector<uint32_t> owner;
+    if (!LowestEntityComponents(index, attr_id, &owner)) continue;
+    if (owner.size() != entity.size ||
+        !std::equal(owner.begin(), owner.end(), entity.data)) {
+      continue;
+    }
+
+    uint32_t value_id = index.attributes.ValueAt(i);
+    const std::string& value = index.nodes.Value(value_id);
+    bool contains_query_term = false;
+    for (const std::string& term : text::Analyze(value)) {
+      if (query.ContainsTerm(term)) {
+        contains_query_term = true;
+        break;
+      }
+    }
+    if (contains_query_term) continue;
+
+    std::vector<std::string> path;
+    for (uint32_t len = entity.size; len <= attr_id.size; ++len) {
+      const NodeInfo* info = index.nodes.Find(DeweySpan{attr_id.data, len});
+      path.push_back(info != nullptr
+                         ? std::string(index.nodes.TagName(info->tag_id))
+                         : "?");
+    }
+    fn(std::string(index.nodes.TagName(index.attributes.TagAt(i))), value,
+       std::move(path));
+  }
+}
+
 /// DiscoverDi re-derived over nodes that live in different segments. The
 /// aggregation key is (attribute tag NAME, value STRING) — segment-local
 /// (tag id, value id) pairs are meaningless across indexes, but both maps
@@ -43,44 +90,18 @@ std::vector<DiKeyword> DiscoverDiAcrossSegments(
     if (!node.is_lce || node.rank <= 0.0) continue;
     const SegmentView* view = snapshot.SegmentFor(node.id.doc_id());
     if (view == nullptr) continue;
-    const XmlIndex& index = *view->index;
-    DeweySpan entity = DeweySpan::Of(node.id);
-    auto [begin, end] = index.attributes.SubtreeRange(entity);
-    end = std::min(end, begin + options.max_attrs_per_node);
-    for (size_t i = begin; i < end; ++i) {
-      DeweySpan attr_id = index.attributes.IdAt(i);
-      std::vector<uint32_t> owner;
-      if (!LowestEntityComponents(index, attr_id, &owner)) continue;
-      if (owner.size() != entity.size ||
-          !std::equal(owner.begin(), owner.end(), entity.data)) {
-        continue;
-      }
-
-      uint32_t value_id = index.attributes.ValueAt(i);
-      const std::string& value = index.nodes.Value(value_id);
-      bool contains_query_term = false;
-      for (const std::string& term : text::Analyze(value)) {
-        if (query.ContainsTerm(term)) {
-          contains_query_term = true;
-          break;
-        }
-      }
-      if (contains_query_term) continue;
-
-      auto key = std::make_pair(
-          std::string(index.nodes.TagName(index.attributes.TagAt(i))), value);
-      DiKeyword& di = accumulated[key];
-      if (di.support == 0) {
-        di.value = value;
-        for (uint32_t len = entity.size; len <= attr_id.size; ++len) {
-          const NodeInfo* info = index.nodes.Find(DeweySpan{attr_id.data, len});
-          di.path.push_back(info != nullptr ? index.nodes.TagName(info->tag_id)
-                                            : "?");
-        }
-      }
-      di.weight += node.rank;
-      ++di.support;
-    }
+    ForEachOwnedDiAttr(
+        *view->index, node, query, options,
+        [&](std::string tag, const std::string& value,
+            std::vector<std::string> path) {
+          DiKeyword& di = accumulated[{std::move(tag), value}];
+          if (di.support == 0) {
+            di.value = value;
+            di.path = std::move(path);
+          }
+          di.weight += node.rank;
+          ++di.support;
+        });
   }
 
   std::vector<DiKeyword> out;
@@ -89,9 +110,12 @@ std::vector<DiKeyword> DiscoverDiAcrossSegments(
     (void)key;
     out.push_back(std::move(di));
   }
+  // Same total order as DiscoverDi: the path leg breaks (weight, value)
+  // ties deterministically across keying schemes.
   std::sort(out.begin(), out.end(), [](const DiKeyword& a, const DiKeyword& b) {
     if (a.weight != b.weight) return a.weight > b.weight;
-    return a.value < b.value;
+    if (a.value != b.value) return a.value < b.value;
+    return a.path < b.path;
   });
   if (out.size() > options.top_m) out.resize(options.top_m);
   return out;
@@ -126,20 +150,33 @@ Result<SearchResponse> SegmentSearcher::SearchMerged(
   inner_options.suggest_refinements = false;
   inner_options.max_results = 0;
 
+  // Per-segment pipelines are independent (each GksSearcher::Search
+  // installs its own trace collector, counters are atomic), so with a
+  // pool they fan out concurrently; the ordered merge below makes the
+  // result identical to the sequential walk. ParallelFor degrades to the
+  // inline loop when called from a pool worker or without a pool.
+  const std::vector<SegmentView>& segments = snapshot_->segments;
+  std::vector<std::optional<Result<SearchResponse>>> partials(
+      segments.size());
+  ParallelFor(segments.size() > 1 ? pool_ : nullptr, segments.size(),
+              [&](size_t i) {
+                SearchOptions segment_options = inner_options;
+                if (SegmentHasTombstones(*snapshot_, segments[i])) {
+                  // Exactness under deletion: the segment's true k best
+                  // survivors may rank below k masked nodes, so evaluate
+                  // in full and let the merged sort truncate.
+                  segment_options.top_k = 0;
+                }
+                GksSearcher searcher(segments[i].index.get());
+                partials[i].emplace(searcher.Search(query, segment_options));
+              });
+
   std::vector<Trace> inner_traces;
   size_t dominant_size = 0;
   bool have_plan = false;
-  for (const SegmentView& view : snapshot_->segments) {
-    SearchOptions segment_options = inner_options;
-    if (SegmentHasTombstones(*snapshot_, view)) {
-      // Exactness under deletion: the segment's true k best survivors may
-      // rank below k masked nodes, so evaluate in full and let the merged
-      // sort truncate.
-      segment_options.top_k = 0;
-    }
-    GksSearcher searcher(view.index.get());
-    GKS_ASSIGN_OR_RETURN(SearchResponse response,
-                         searcher.Search(query, segment_options));
+  for (std::optional<Result<SearchResponse>>& partial : partials) {
+    if (!partial->ok()) return partial->status();
+    SearchResponse& response = partial->value();
     for (GksNode& node : response.nodes) {
       if (snapshot_->IsDeleted(node.id.doc_id())) continue;
       merged.nodes.push_back(std::move(node));
@@ -245,6 +282,42 @@ std::string DescribeNode(const SegmentSetSnapshot& snapshot,
   const SegmentView* view = snapshot.SegmentFor(node.id.doc_id());
   if (view == nullptr) return "<?> " + node.id.ToString();
   return DescribeNode(*view->index, node, max_attrs);
+}
+
+std::vector<std::vector<DiContribution>> ComputeDiContributions(
+    const XmlIndex& index, const std::vector<GksNode>& nodes,
+    const Query& query, const DiOptions& options) {
+  std::vector<std::vector<DiContribution>> out(nodes.size());
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    const GksNode& node = nodes[n];
+    if (!node.is_lce || node.rank <= 0.0) continue;
+    ForEachOwnedDiAttr(index, node, query, options,
+                       [&](std::string tag, const std::string& value,
+                           std::vector<std::string> path) {
+                         out[n].push_back({std::move(tag), value,
+                                           std::move(path)});
+                       });
+  }
+  return out;
+}
+
+std::vector<std::vector<DiContribution>> ComputeDiContributions(
+    const SegmentSetSnapshot& snapshot, const std::vector<GksNode>& nodes,
+    const Query& query, const DiOptions& options) {
+  std::vector<std::vector<DiContribution>> out(nodes.size());
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    const GksNode& node = nodes[n];
+    if (!node.is_lce || node.rank <= 0.0) continue;
+    const SegmentView* view = snapshot.SegmentFor(node.id.doc_id());
+    if (view == nullptr) continue;
+    ForEachOwnedDiAttr(*view->index, node, query, options,
+                       [&](std::string tag, const std::string& value,
+                           std::vector<std::string> path) {
+                         out[n].push_back({std::move(tag), value,
+                                           std::move(path)});
+                       });
+  }
+  return out;
 }
 
 }  // namespace gks

@@ -4,8 +4,10 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/searcher.h"
 #include "index/rt_segment.h"
 
@@ -46,6 +48,13 @@ class SegmentSearcher {
   void set_cache(QueryResultCache* cache) { cache_ = cache; }
   QueryResultCache* cache() const { return cache_; }
 
+  /// With a pool, the per-segment pipelines run concurrently (ParallelFor)
+  /// and the merge re-establishes the deterministic global order — output
+  /// is identical to the sequential walk. Callers already running *on* a
+  /// pool worker degrade to the inline loop (ThreadPool no-blocking rule),
+  /// so this pays off for direct library users, benches and the CLI.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   Result<SearchResponse> Search(const Query& query,
                                 const SearchOptions& options = {}) const;
   /// Parses `query_text` (quotes delimit phrases) and searches.
@@ -60,12 +69,38 @@ class SegmentSearcher {
 
   std::shared_ptr<const SegmentSetSnapshot> snapshot_;
   QueryResultCache* cache_ = nullptr;
+  ThreadPool* pool_ = nullptr;
 };
 
 /// DescribeNode over a segment set: resolves the node's segment by doc id
 /// and formats with that segment's index.
 std::string DescribeNode(const SegmentSetSnapshot& snapshot,
                          const GksNode& node, size_t max_attrs = 3);
+
+/// One attribute occurrence a response node contributes to DI discovery
+/// (Sec. 6.2): the aggregation key (attribute tag name, value string)
+/// plus the tag path from the owning entity down to the attribute. This
+/// is the partition-independent form of a DI occurrence — a coordinator
+/// replays the exact accumulation DiscoverDi performs (weight += node
+/// rank, support += 1, first contributor in rank order defines the path)
+/// from these without touching any index (docs/DISTRIBUTED.md).
+struct DiContribution {
+  std::string tag;
+  std::string value;
+  std::vector<std::string> path;
+};
+
+/// Per-node DI contributions, aligned with `nodes`. Only LCE nodes with
+/// positive rank contribute (non-contributors get empty vectors), and the
+/// enumeration applies the same owning-entity and query-term filters as
+/// DiscoverDi, so replaying the accumulation over the returned lists is
+/// bit-identical to running discovery directly.
+std::vector<std::vector<DiContribution>> ComputeDiContributions(
+    const XmlIndex& index, const std::vector<GksNode>& nodes,
+    const Query& query, const DiOptions& options);
+std::vector<std::vector<DiContribution>> ComputeDiContributions(
+    const SegmentSetSnapshot& snapshot, const std::vector<GksNode>& nodes,
+    const Query& query, const DiOptions& options);
 
 }  // namespace gks
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
@@ -70,11 +71,17 @@ Status ServerConnection::ReadResponseLine(std::string* line) {
 }
 
 Result<JsonValue> ServerConnection::Call(const std::string& request_json) {
+  GKS_ASSIGN_OR_RETURN(std::string line, CallRaw(request_json));
+  return JsonValue::Parse(line);
+}
+
+Result<std::string> ServerConnection::CallRaw(
+    const std::string& request_json) {
   if (fd_ < 0) return Status::IOError("not connected");
   GKS_RETURN_IF_ERROR(net::WriteAll(fd_, request_json + "\n"));
   std::string line;
   GKS_RETURN_IF_ERROR(ReadResponseLine(&line));
-  return JsonValue::Parse(line);
+  return line;
 }
 
 Result<JsonValue> ServerConnection::Query(const std::string& query_text,
@@ -125,18 +132,47 @@ std::string LoadReport::ToString() const {
   double seconds = elapsed_ms / 1000.0;
   std::snprintf(
       buffer, sizeof(buffer),
-      "%llu requests: %llu ok, %llu overloaded, %llu deadline, "
-      "%llu errors, %llu transport, %llu bad-json in %.2fms "
-      "(%.1f q/s; p50=%.3fms p95=%.3fms max=%.3fms; %zu epoch%s)",
+      "%llu requests: %llu ok (%llu degraded), %llu overloaded, "
+      "%llu deadline, %llu errors, %llu transport, %llu bad-json in "
+      "%.2fms (%.1f q/s; p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms; "
+      "%zu epoch%s)",
       (unsigned long long)sent, (unsigned long long)ok,
-      (unsigned long long)overloaded, (unsigned long long)deadline_exceeded,
+      (unsigned long long)degraded, (unsigned long long)overloaded,
+      (unsigned long long)deadline_exceeded,
       (unsigned long long)other_errors,
       (unsigned long long)transport_failures,
       (unsigned long long)invalid_json, elapsed_ms,
       seconds > 0.0 ? static_cast<double>(sent) / seconds : 0.0, p50_ms,
-      p95_ms, max_ms, epochs_seen.size(),
+      p95_ms, p99_ms, max_ms, epochs_seen.size(),
       epochs_seen.size() == 1 ? "" : "s");
   return buffer;
+}
+
+std::string LoadReport::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("sent").UInt(sent);
+  json.Key("ok").UInt(ok);
+  json.Key("degraded").UInt(degraded);
+  json.Key("overloaded").UInt(overloaded);
+  json.Key("deadline_exceeded").UInt(deadline_exceeded);
+  json.Key("other_errors").UInt(other_errors);
+  json.Key("transport_failures").UInt(transport_failures);
+  json.Key("invalid_json").UInt(invalid_json);
+  json.Key("elapsed_ms").Double(elapsed_ms);
+  double seconds = elapsed_ms / 1000.0;
+  json.Key("qps").Double(
+      seconds > 0.0 ? static_cast<double>(sent) / seconds : 0.0);
+  json.Key("p50_ms").Double(p50_ms);
+  json.Key("p95_ms").Double(p95_ms);
+  json.Key("p99_ms").Double(p99_ms);
+  json.Key("max_ms").Double(max_ms);
+  json.Key("epochs").BeginArray();
+  for (uint64_t epoch : epochs_seen) json.UInt(epoch);
+  json.EndArray();
+  json.Key("clean").Bool(clean());
+  json.EndObject();
+  return json.Take();
 }
 
 Result<LoadReport> RunLoad(const LoadOptions& options) {
@@ -151,11 +187,26 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
   std::vector<std::thread> workers;
   workers.reserve(options.connections);
   WallTimer timer;
+  // Endpoint 0 is host/port; --endpoints adds more, assigned round-robin
+  // by worker index.
+  std::vector<std::pair<std::string, int>> targets;
+  targets.emplace_back(options.host, options.port);
+  for (const std::string& endpoint : options.endpoints) {
+    size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == endpoint.size()) {
+      return Status::InvalidArgument("endpoint must be host:port, got '" +
+                                     endpoint + "'");
+    }
+    targets.emplace_back(endpoint.substr(0, colon),
+                         std::atoi(endpoint.c_str() + colon + 1));
+  }
   for (size_t w = 0; w < options.connections; ++w) {
-    workers.emplace_back([&options, &results, w] {
+    workers.emplace_back([&options, &results, &targets, w] {
       WorkerResult& result = results[w];
+      const auto& [host, port] = targets[w % targets.size()];
       Result<ServerConnection> connection =
-          ServerConnection::Open(options.host, options.port);
+          ServerConnection::Open(host, port);
       if (!connection.ok()) {
         // Count every planned request as a transport failure so the
         // totals still add up for the caller.
@@ -182,6 +233,10 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
         }
         if (response->Find("ok")->GetBool()) {
           ++result.report.ok;
+          if (const JsonValue* flag = response->Find("degraded");
+              flag != nullptr && flag->GetBool()) {
+            ++result.report.degraded;
+          }
           if (const JsonValue* epoch = response->Find("epoch")) {
             result.report.epochs_seen.push_back(
                 static_cast<uint64_t>(epoch->GetInt()));
@@ -208,6 +263,7 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
   for (WorkerResult& result : results) {
     merged.sent += result.report.sent;
     merged.ok += result.report.ok;
+    merged.degraded += result.report.degraded;
     merged.overloaded += result.report.overloaded;
     merged.deadline_exceeded += result.report.deadline_exceeded;
     merged.other_errors += result.report.other_errors;
@@ -231,6 +287,7 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
     };
     merged.p50_ms = at(0.50);
     merged.p95_ms = at(0.95);
+    merged.p99_ms = at(0.99);
     merged.max_ms = latencies.back();
   }
   return merged;

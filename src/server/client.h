@@ -28,6 +28,9 @@ class ServerConnection {
   /// Sends one raw request line (newline appended) and blocks for the
   /// response line, parsed as JSON. IOError when the server closed.
   Result<JsonValue> Call(const std::string& request_json);
+  /// Same round trip, returning the raw response line unparsed — the
+  /// byte-identity tests and diff scripts compare these directly.
+  Result<std::string> CallRaw(const std::string& request_json);
 
   /// Convenience wrappers over Call. A non-empty `plan` is forwarded as
   /// the wire `plan` field (execution-strategy override, docs/SERVER.md);
@@ -58,6 +61,7 @@ class ServerConnection {
 struct LoadReport {
   uint64_t sent = 0;
   uint64_t ok = 0;
+  uint64_t degraded = 0;           // ok but partial (coordinator fan-out)
   uint64_t overloaded = 0;         // shed by admission control
   uint64_t deadline_exceeded = 0;  // expired in queue
   uint64_t other_errors = 0;       // bad_request / search_failed / ...
@@ -66,21 +70,31 @@ struct LoadReport {
   double elapsed_ms = 0.0;
   double p50_ms = 0.0;   // per-request round-trip percentiles
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
   double max_ms = 0.0;
   std::vector<uint64_t> epochs_seen;  // distinct, ascending
 
   /// All responses arrived, parsed, and were either ok or a documented
-  /// shed/deadline error.
+  /// shed/deadline error. Degraded answers count as ok — asserting on
+  /// them is the caller's call (scripts/check_cluster.sh does).
   bool clean() const {
     return transport_failures == 0 && invalid_json == 0 &&
            other_errors == 0 && ok + overloaded + deadline_exceeded == sent;
   }
   std::string ToString() const;
+  /// One JSON object with every field above — the gks_client --json-out
+  /// payload benches and scripts consume.
+  std::string ToJson() const;
 };
 
 struct LoadOptions {
   std::string host = "127.0.0.1";
   int port = 0;
+  /// Additional "host:port" targets. Worker w connects to endpoint
+  /// w mod (1 + endpoints.size()), index 0 being host/port above — a
+  /// multi-endpoint round-robin for driving several coordinators or
+  /// workers at once (docs/DISTRIBUTED.md).
+  std::vector<std::string> endpoints;
   size_t connections = 4;
   /// Requests issued per connection (total = connections * requests).
   size_t requests_per_connection = 100;

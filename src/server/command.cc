@@ -36,8 +36,14 @@ int ServeUsage() {
                "        [--cache=CAP] [--max-request-bytes=N] [--mmap]\n"
                "        [--rt=DIR] [--rt-flush-docs=N] [--rt-flush-bytes=N]\n"
                "        [--rt-merge-fanout=N] [--rt-fsync=always|off]\n"
+               "        [--doc-base=N]\n"
+               "        [--coord-shards=H:P[|H:P..][,H:P..]]\n"
+               "        [--coord-deadline-ms=D] [--coord-retries=N]\n"
+               "        [--coord-backoff-ms=D] [--coord-partial]\n"
                "(an index file, --rt, or both; with both, the file is the\n"
-               " immutable base the real-time index grows from)\n");
+               " immutable base the real-time index grows from;\n"
+               " --coord-shards instead makes this server a shard\n"
+               " coordinator with no index of its own, docs/DISTRIBUTED.md)\n");
   return 2;
 }
 
@@ -53,7 +59,8 @@ int ClientUsage() {
       "      | --delete=NAME                      (real-time delete)\n"
       "      | --queries=FILE [--connections=C] [--requests=N]\n"
       "        [--s=N] [--top=N] [--top-k=K] "
-      "[--plan=auto|merge|probe|hybrid]\n");
+      "[--plan=auto|merge|probe|hybrid]\n"
+      "        [--endpoints=H:P[,H:P..]] [--json-out=FILE]\n");
   return 2;
 }
 
@@ -85,10 +92,20 @@ int RunServeCommand(const FlagParser& flags) {
     return 2;
   }
   config.rt_fsync = rt_fsync == "always";
+  config.doc_base = static_cast<uint32_t>(flags.GetInt("doc-base", 0));
+  config.coord_shards = flags.GetString("coord-shards", "");
+  config.coord_deadline_ms = flags.GetDouble("coord-deadline-ms", 2000.0);
+  config.coord_retries = static_cast<int>(flags.GetInt("coord-retries", 2));
+  config.coord_backoff_ms = flags.GetDouble("coord-backoff-ms", 20.0);
+  config.coord_partial = flags.GetBool("coord-partial");
 
-  // The positional index is optional when --rt gives the server a home;
-  // with both, the file serves as the immutable base segment.
-  if (args.size() < 2 && config.rt_dir.empty()) return ServeUsage();
+  // The positional index is optional when --rt gives the server a home or
+  // --coord-shards makes it an index-less coordinator; with an index and
+  // --rt, the file serves as the immutable base segment.
+  if (args.size() < 2 && config.rt_dir.empty() &&
+      config.coord_shards.empty()) {
+    return ServeUsage();
+  }
 
   GksServer server(config, args.size() >= 2 ? args[1] : std::string());
   if (Status status = server.Start(); !status.ok()) {
@@ -376,6 +393,12 @@ int RunClientCommand(const FlagParser& flags) {
     options.top = static_cast<size_t>(flags.GetInt("top", 10));
     options.top_k = static_cast<uint32_t>(flags.GetInt("top-k", 0));
     if (flags.Has("plan")) options.plan = flags.GetString("plan", "auto");
+    if (flags.Has("endpoints")) {
+      for (std::string& endpoint :
+           SplitString(flags.GetString("endpoints", ""), ',')) {
+        if (!endpoint.empty()) options.endpoints.push_back(endpoint);
+      }
+    }
     for (std::string& line : SplitString(text, '\n')) {
       size_t begin = line.find_first_not_of(" \t\r");
       if (begin == std::string::npos || line[begin] == '#') continue;
@@ -388,6 +411,16 @@ int RunClientCommand(const FlagParser& flags) {
       return 1;
     }
     std::printf("%s\n", report->ToString().c_str());
+    if (flags.Has("json-out")) {
+      std::string out_path = flags.GetString("json-out", "");
+      FILE* out = std::fopen(out_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      std::fprintf(out, "%s\n", report->ToJson().c_str());
+      std::fclose(out);
+    }
     return report->clean() ? 0 : 1;
   }
 

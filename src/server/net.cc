@@ -1,6 +1,8 @@
 #include "server/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
+
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
@@ -95,6 +97,66 @@ Result<int> Connect(const std::string& host, int port) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+Result<int> ConnectWithTimeout(const std::string& host, int port,
+                               int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status status = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      if (ready == 0) {
+        return Status::DeadlineExceeded(
+            "connect " + host + ":" + std::to_string(port) + " timed out after " +
+            std::to_string(timeout_ms) + "ms");
+      }
+      return Errno("poll");
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) != 0 ||
+        error != 0) {
+      ::close(fd);
+      errno = error != 0 ? error : errno;
+      return Errno("connect " + host + ":" + std::to_string(port));
+    }
+  }
+  // Back to blocking: callers frame reads with WaitReadable instead.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status WaitReadable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  int ready;
+  do {
+    ready = ::poll(&pfd, 1, timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) return Errno("poll");
+  if (ready == 0) {
+    return Status::DeadlineExceeded("peer sent nothing for " +
+                                    std::to_string(timeout_ms) + "ms");
+  }
+  return Status::OK();
 }
 
 void CloseFd(int fd) {

@@ -31,6 +31,17 @@ Result<int> AcceptWithTimeout(int listen_fd, int timeout_ms);
 /// Blocking connect to host:port; returns the connected fd.
 Result<int> Connect(const std::string& host, int port);
 
+/// Connect with a budget: non-blocking connect + poll. DeadlineExceeded
+/// when the peer did not accept within `timeout_ms` (the coordinator
+/// treats that as a failed shard attempt, not a hang).
+Result<int> ConnectWithTimeout(const std::string& host, int port,
+                               int timeout_ms);
+
+/// Waits up to `timeout_ms` for the fd to become readable. OK when
+/// readable, DeadlineExceeded on timeout, IOError on poll failure — the
+/// building block of budgeted response reads (docs/DISTRIBUTED.md).
+Status WaitReadable(int fd, int timeout_ms);
+
 /// Close if `fd >= 0`; idempotent via the caller keeping -1 after.
 void CloseFd(int fd);
 

@@ -9,7 +9,8 @@ namespace {
 bool IsKnownQueryField(std::string_view key) {
   return key == "query" || key == "s" || key == "top" || key == "top_k" ||
          key == "di" || key == "refine" || key == "explain" ||
-         key == "plan" || key == "id";
+         key == "plan" || key == "id" || key == "shard" ||
+         key == "di_contrib";
 }
 
 /// Fields an admin request may carry.
@@ -193,18 +194,46 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
           "'plan' must be one of \"auto\", \"merge\", \"probe\", \"hybrid\"");
     }
   }
+  if (const JsonValue* shard = root.Find("shard")) {
+    if (!shard->is_bool()) {
+      return Status::InvalidArgument("'shard' must be a boolean");
+    }
+    request.shard = shard->GetBool();
+    if (request.shard) {
+      if (request.explain) {
+        return Status::InvalidArgument(
+            "'explain' is not available on shard partials");
+      }
+      // A shard partial is exactly SegmentSearcher's inner per-segment
+      // request: cross-shard stages run on the coordinator.
+      request.options.discover_di = false;
+      request.options.suggest_refinements = false;
+      request.options.max_results = 0;
+    }
+  }
+  if (const JsonValue* di_contrib = root.Find("di_contrib")) {
+    if (!di_contrib->is_bool()) {
+      return Status::InvalidArgument("'di_contrib' must be a boolean");
+    }
+    if (di_contrib->GetBool() && !request.shard) {
+      return Status::InvalidArgument(
+          "'di_contrib' is only valid with \"shard\": true");
+    }
+    request.want_di_contrib = di_contrib->GetBool();
+  }
   return request;
 }
 
 namespace {
 
-/// Shared body of the two Query overloads: `doc_name` and `describe`
-/// resolve a node against whatever index form the caller searched.
+/// Shared body of the Query overloads: `doc_name` and `describe` resolve
+/// a node against whatever index form the caller searched.
 template <typename DocNameFn, typename DescribeFn>
 std::string BuildQueryResponse(const WireRequest& request,
                                const SearchResponse& response, uint64_t epoch,
                                double elapsed_ms, DocNameFn&& doc_name,
-                               DescribeFn&& describe) {
+                               DescribeFn&& describe,
+                               const QueryWireExtras& extras) {
   JsonWriter json;
   json.BeginObject();
   json.Key("ok").Bool(true);
@@ -215,9 +244,15 @@ std::string BuildQueryResponse(const WireRequest& request,
   json.Key("candidates").UInt(response.candidate_count);
   json.Key("lce").UInt(response.lce_count);
   json.Key("plan").String(PlanModeName(response.plan.strategy));
+  if (extras.degraded) {
+    json.Key("degraded").Bool(true);
+    json.Key("shards_ok").UInt(extras.shards_ok);
+    json.Key("shards_total").UInt(extras.shards_total);
+  }
   json.Key("elapsed_ms").Double(elapsed_ms);
   json.Key("nodes").BeginArray();
-  for (const GksNode& node : response.nodes) {
+  for (size_t n = 0; n < response.nodes.size(); ++n) {
+    const GksNode& node = response.nodes[n];
     json.BeginObject();
     json.Key("id").String(node.id.ToString());
     json.Key("doc").String(doc_name(node));
@@ -225,6 +260,26 @@ std::string BuildQueryResponse(const WireRequest& request,
     json.Key("keywords").UInt(node.keyword_count);
     json.Key("rank").Double(node.rank);
     json.Key("describe").String(describe(node));
+    if (extras.shard_mode) {
+      // Lossless fields for the coordinator: the display "rank" above is
+      // a 3-decimal double, not enough to reproduce sort order or DI
+      // weight sums bit-exactly.
+      json.Key("mask").String(EncodeMaskBits(node.keyword_mask));
+      json.Key("rank_bits").String(EncodeDoubleBits(node.rank));
+    }
+    if (extras.contributions != nullptr) {
+      json.Key("di_contrib").BeginArray();
+      for (const DiContribution& contribution : (*extras.contributions)[n]) {
+        json.BeginObject();
+        json.Key("tag").String(contribution.tag);
+        json.Key("value").String(contribution.value);
+        json.Key("path").BeginArray();
+        for (const std::string& step : contribution.path) json.String(step);
+        json.EndArray();
+        json.EndObject();
+      }
+      json.EndArray();
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -266,19 +321,24 @@ std::string BuildQueryResponse(const WireRequest& request,
 std::string WireResponseBuilder::Query(const WireRequest& request,
                                        const SearchResponse& response,
                                        const XmlIndex& index, uint64_t epoch,
-                                       double elapsed_ms) {
+                                       double elapsed_ms,
+                                       const QueryWireExtras& extras) {
   return BuildQueryResponse(
       request, response, epoch, elapsed_ms,
       [&](const GksNode& node) -> const std::string& {
-        return index.catalog.document(node.id.doc_id()).name;
+        // Shard indexes carry global Dewey doc ids over a dense catalog
+        // (docs/DISTRIBUTED.md); doc_base is 0 everywhere else.
+        return index.catalog.document(node.id.doc_id() - extras.doc_base)
+            .name;
       },
-      [&](const GksNode& node) { return DescribeNode(index, node); });
+      [&](const GksNode& node) { return DescribeNode(index, node); }, extras);
 }
 
 std::string WireResponseBuilder::Query(const WireRequest& request,
                                        const SearchResponse& response,
                                        const SegmentSetSnapshot& snapshot,
-                                       uint64_t epoch, double elapsed_ms) {
+                                       uint64_t epoch, double elapsed_ms,
+                                       const QueryWireExtras& extras) {
   return BuildQueryResponse(
       request, response, epoch, elapsed_ms,
       [&](const GksNode& node) -> std::string {
@@ -286,7 +346,25 @@ std::string WireResponseBuilder::Query(const WireRequest& request,
             snapshot.Document(node.id.doc_id());
         return info != nullptr ? info->name : "?";
       },
-      [&](const GksNode& node) { return DescribeNode(snapshot, node); });
+      [&](const GksNode& node) { return DescribeNode(snapshot, node); },
+      extras);
+}
+
+std::string WireResponseBuilder::Query(const WireRequest& request,
+                                       const MergedShardResult& merged,
+                                       double elapsed_ms,
+                                       const QueryWireExtras& extras) {
+  const SearchResponse& response = merged.response;
+  const GksNode* base = response.nodes.data();
+  return BuildQueryResponse(
+      request, response, merged.epoch, elapsed_ms,
+      [&](const GksNode& node) -> const std::string& {
+        return merged.doc_names[static_cast<size_t>(&node - base)];
+      },
+      [&](const GksNode& node) -> const std::string& {
+        return merged.describes[static_cast<size_t>(&node - base)];
+      },
+      extras);
 }
 
 std::string WireResponseBuilder::Inserted(const WireRequest& request,

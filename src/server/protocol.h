@@ -5,10 +5,13 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "common/json_value.h"
 #include "common/result.h"
 #include "core/searcher.h"
 #include "core/segment_search.h"
+#include "core/shard_merge.h"
 
 namespace gks {
 
@@ -33,6 +36,7 @@ inline constexpr std::string_view kRtDisabled = "rt_disabled";
 inline constexpr std::string_view kDocExists = "doc_exists";
 inline constexpr std::string_view kInvalidDocument = "invalid_document";
 inline constexpr std::string_view kWalFailed = "wal_failed";
+inline constexpr std::string_view kShardUnavailable = "shard_unavailable";
 }  // namespace wire_error
 
 /// Admin verbs (`{"cmd": "..."}` requests).
@@ -73,6 +77,17 @@ struct WireRequest {
   std::string query;      // query text (same syntax as `gks search`)
   SearchOptions options;  // s / top / di / refine mapped onto the engine
   bool explain = false;   // attach the --explain-json document
+
+  /// Shard-worker mode (docs/DISTRIBUTED.md): the caller is a coordinator
+  /// and wants a *partial* — cross-shard stages (DI, refinements, the
+  /// max_results trim) are forced off, and every node carries its exact
+  /// rank bit pattern and keyword mask so the coordinator can replay
+  /// those stages losslessly.
+  bool shard = false;
+  /// With `shard`, additionally attach each node's DI contribution list
+  /// (attribute tag / value / path triples) for the coordinator's DI
+  /// replay. Only valid alongside `"shard": true`.
+  bool want_di_contrib = false;
 };
 
 /// Parses one request line. InvalidArgument (→ `bad_request` on the wire)
@@ -80,6 +95,27 @@ struct WireRequest {
 /// fields (strict by design: a typo'd option should fail loudly, not
 /// silently search with defaults).
 Result<WireRequest> ParseWireRequest(std::string_view line);
+
+/// Optional response decorations (docs/DISTRIBUTED.md). All default-off:
+/// a plain single-index response is byte-identical to pre-distributed
+/// builds.
+struct QueryWireExtras {
+  /// Shard-worker partial: per-node "mask" (hex keyword mask) and
+  /// "rank_bits" (hex IEEE-754 rank) fields.
+  bool shard_mode = false;
+  /// Per-node DI contribution lists, aligned with response.nodes. Emitted
+  /// as "di_contrib" arrays when non-null.
+  const std::vector<std::vector<DiContribution>>* contributions = nullptr;
+  /// Shard workers hold global Dewey doc ids but a dense catalog starting
+  /// at this base (IndexBuilderOptions::first_doc_id).
+  uint32_t doc_base = 0;
+  /// Coordinator only, and only on a partial answer: "degraded": true
+  /// plus "shards_ok"/"shards_total". A full fan-out emits none of these,
+  /// keeping the response shape identical to a single-index server.
+  bool degraded = false;
+  uint32_t shards_ok = 0;
+  uint32_t shards_total = 0;
+};
 
 /// Response builders — each returns one complete JSON object WITHOUT the
 /// trailing newline (the connection layer owns framing).
@@ -91,14 +127,23 @@ class WireResponseBuilder {
   static std::string Query(const WireRequest& request,
                            const SearchResponse& response,
                            const XmlIndex& index, uint64_t epoch,
-                           double elapsed_ms);
+                           double elapsed_ms,
+                           const QueryWireExtras& extras = {});
 
   /// Query envelope over a real-time segment set: identical schema, with
   /// document names and node descriptions resolved through the snapshot.
   static std::string Query(const WireRequest& request,
                            const SearchResponse& response,
                            const SegmentSetSnapshot& snapshot, uint64_t epoch,
-                           double elapsed_ms);
+                           double elapsed_ms,
+                           const QueryWireExtras& extras = {});
+
+  /// Coordinator envelope: identical schema, with document names and
+  /// describe strings taken from the merged shard partials (the
+  /// coordinator holds no index of its own).
+  static std::string Query(const WireRequest& request,
+                           const MergedShardResult& merged, double elapsed_ms,
+                           const QueryWireExtras& extras = {});
 
   /// Insert ack: {"ok":true,"status":"inserted","doc":...,"doc_id":N,
   /// "epoch":E,"elapsed_ms":...}. The document is searchable at `epoch`.

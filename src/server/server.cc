@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <utility>
@@ -49,6 +50,10 @@ GksServer::GksServer(ServerConfig config, std::string index_path)
   request_latency_ =
       registry.GetHistogram("gks.server.request.latency_ms");
   queue_wait_ = registry.GetHistogram("gks.server.queue_wait_ms");
+  shard_cache_hits_ =
+      registry.GetCounter("gks.server.shard_cache_hits_total");
+  shard_cache_misses_ =
+      registry.GetCounter("gks.server.shard_cache_misses_total");
 }
 
 GksServer::~GksServer() {
@@ -59,22 +64,46 @@ GksServer::~GksServer() {
 }
 
 Status GksServer::Start() {
-  if (!config_.rt_dir.empty()) {
-    RtOptions options;
-    options.dir = config_.rt_dir;
-    options.base_index_path = index_state_.path();
-    options.mmap = config_.mmap;
-    options.flush_docs = config_.rt_flush_docs;
-    options.flush_bytes = config_.rt_flush_bytes;
-    options.merge_fanout = config_.rt_merge_fanout;
-    options.fsync = config_.rt_fsync;
-    index_state_.EnableRt(std::move(options));
-  }
-  GKS_RETURN_IF_ERROR(index_state_.Load());
-  if (config_.cache_capacity > 0) {
-    cache_ = std::make_unique<QueryResultCache>(config_.cache_capacity);
-  }
   pool_ = std::make_unique<ThreadPool>(config_.threads);
+  if (!config_.coord_shards.empty()) {
+    // Coordinator mode: no local index, no result cache (worker caches
+    // already dedupe; the merged answer depends on worker epochs the
+    // coordinator cannot key on).
+    if (!config_.rt_dir.empty()) {
+      return Status::InvalidArgument(
+          "--coord-shards and --rt are mutually exclusive");
+    }
+    CoordinatorOptions options;
+    GKS_ASSIGN_OR_RETURN(options.shards,
+                         ParseShardTopology(config_.coord_shards));
+    options.deadline_ms = config_.coord_deadline_ms;
+    options.retries = config_.coord_retries;
+    options.backoff_ms = config_.coord_backoff_ms;
+    options.allow_partial = config_.coord_partial;
+    coordinator_ =
+        std::make_unique<ShardCoordinator>(std::move(options), pool_.get());
+  } else {
+    if (!config_.rt_dir.empty()) {
+      RtOptions options;
+      options.dir = config_.rt_dir;
+      options.base_index_path = index_state_.path();
+      options.mmap = config_.mmap;
+      options.flush_docs = config_.rt_flush_docs;
+      options.flush_bytes = config_.rt_flush_bytes;
+      options.merge_fanout = config_.rt_merge_fanout;
+      options.fsync = config_.rt_fsync;
+      index_state_.EnableRt(std::move(options));
+    }
+    GKS_RETURN_IF_ERROR(index_state_.Load());
+    if (config_.cache_capacity > 0) {
+      cache_ = std::make_unique<QueryResultCache>(config_.cache_capacity);
+      // Shard partials are large (every node + describe + DI
+      // contributions travels); serving repeat fan-outs from serialized
+      // bytes is what keeps a worker's share of a coordinator query at
+      // memcpy cost. 32 MiB ≈ tens of busy-query partials.
+      wire_cache_ = std::make_unique<WireResponseCache>(32u << 20);
+    }
+  }
   if (config_.queue_depth == 0) config_.queue_depth = 1;
   GKS_ASSIGN_OR_RETURN(listen_fd_,
                        net::Listen(config_.host, config_.port));
@@ -96,6 +125,12 @@ void GksServer::Wait() {
 void GksServer::AcceptLoop() {
   while (!shutdown_requested_.load()) {
     if (reload_requested_.exchange(false)) {
+      if (coordinator_ != nullptr) {
+        std::fprintf(stderr,
+                     "gks-server: reload ignored (coordinator has no "
+                     "index; reload the shard workers)\n");
+        continue;
+      }
       Result<uint64_t> epoch = index_state_.Reload();
       if (epoch.ok()) {
         std::fprintf(stderr, "gks-server: reloaded %s (epoch %llu)\n",
@@ -141,6 +176,7 @@ void GksServer::AcceptLoop() {
   listen_fd_ = -1;
   draining_.store(true);
   DrainAndCloseConnections();
+  if (coordinator_ != nullptr) coordinator_->CloseAll();
   finished_.store(true);
 }
 
@@ -243,28 +279,35 @@ bool GksServer::HandleLine(Connection* connection, const std::string& line) {
       keep_open = false;
     } else {
       queue_depth_gauge_->Set(static_cast<int64_t>(before + 1));
-      // Dispatch onto the pool and park until the worker answers. The
-      // waiter lives on this stack frame; the pool destructor drains, so
-      // the task always runs and always signals.
-      struct Waiter {
-        std::mutex mu;
-        std::condition_variable cv;
-        bool done = false;
-        std::string response;
-      } waiter;
-      pool_->Submit([this, &parsed, &waiter, admitted] {
-        std::string result = RunQuery(*parsed, admitted);
-        std::lock_guard<std::mutex> lock(waiter.mu);
-        waiter.response = std::move(result);
-        waiter.done = true;
-        // Notify under the lock: the parked thread cannot return from
-        // wait() — and destroy the stack Waiter — until we let go.
-        waiter.cv.notify_one();
-      });
-      {
-        std::unique_lock<std::mutex> lock(waiter.mu);
-        waiter.cv.wait(lock, [&waiter] { return waiter.done; });
-        response = std::move(waiter.response);
+      if (coordinator_ != nullptr) {
+        // Coordinator queries run inline on this connection thread: the
+        // pool is busy fanning the scatter out (ParallelFor from a pool
+        // worker would degrade to a serial walk of the shards).
+        response = RunQuery(*parsed, line, admitted);
+      } else {
+        // Dispatch onto the pool and park until the worker answers. The
+        // waiter lives on this stack frame; the pool destructor drains,
+        // so the task always runs and always signals.
+        struct Waiter {
+          std::mutex mu;
+          std::condition_variable cv;
+          bool done = false;
+          std::string response;
+        } waiter;
+        pool_->Submit([this, &parsed, &line, &waiter, admitted] {
+          std::string result = RunQuery(*parsed, line, admitted);
+          std::lock_guard<std::mutex> lock(waiter.mu);
+          waiter.response = std::move(result);
+          waiter.done = true;
+          // Notify under the lock: the parked thread cannot return from
+          // wait() — and destroy the stack Waiter — until we let go.
+          waiter.cv.notify_one();
+        });
+        {
+          std::unique_lock<std::mutex> lock(waiter.mu);
+          waiter.cv.wait(lock, [&waiter] { return waiter.done; });
+          response = std::move(waiter.response);
+        }
       }
       size_t after = pending_.fetch_sub(1) - 1;
       queue_depth_gauge_->Set(static_cast<int64_t>(after));
@@ -286,7 +329,7 @@ bool GksServer::HandleLine(Connection* connection, const std::string& line) {
 }
 
 std::string GksServer::RunQuery(
-    const WireRequest& request,
+    const WireRequest& request, const std::string& line,
     std::chrono::steady_clock::time_point admitted) {
   double waited_ms = MsSince(admitted);
   queue_wait_->Observe(waited_ms);
@@ -300,12 +343,49 @@ std::string GksServer::RunQuery(
             std::to_string(config_.deadline_ms) + "ms deadline");
   }
   TraceCollector collector("gks");
+  if (coordinator_ != nullptr) {
+    if (request.shard) {
+      errors_total_->Increment();
+      return WireResponseBuilder::Error(
+          &request, wire_error::kBadRequest,
+          "a coordinator is not a shard worker; send shard requests to "
+          "the workers");
+    }
+    // The fan-out budget is the tighter of the coordinator budget and
+    // what is left of this request's own deadline.
+    double budget = config_.coord_deadline_ms;
+    if (config_.deadline_ms > 0.0) {
+      budget = std::min(budget, config_.deadline_ms - waited_ms);
+    }
+    return coordinator_->Execute(request, budget);
+  }
   ScopedSpan span("server.search");
+  // Shard partials qualify for the wire-level cache: the coordinator's
+  // downstream line is canonical and carries no `id`, so the raw line
+  // plus the serving epoch keys the exact serialized bytes. Requests
+  // with an `id` (the echo would go stale) or `explain` (per-run stage
+  // timings) always rebuild.
+  const bool wire_cacheable = wire_cache_ != nullptr && request.shard &&
+                              !request.has_id && !request.explain;
+  std::string wire_key;
   if (index_state_.rt()) {
     std::shared_ptr<const SegmentSetSnapshot> snapshot =
         index_state_.rt_snapshot();
+    if (wire_cacheable) {
+      wire_key = WireResponseCache::MakeKey(line, snapshot->epoch);
+      std::string cached;
+      if (wire_cache_->Get(wire_key, &cached)) {
+        shard_cache_hits_->Increment();
+        return cached;
+      }
+      shard_cache_misses_->Increment();
+    }
     SegmentSearcher searcher(snapshot);
     searcher.set_cache(cache_.get());
+    // Degrades to the inline walk here (this thread IS a pool worker);
+    // embedders driving SegmentSearcher from their own threads get the
+    // parallel per-segment fan-out (docs/PERFORMANCE.md).
+    searcher.set_pool(pool_.get());
     WallTimer timer;
     Result<SearchResponse> response =
         searcher.Search(request.query, request.options);
@@ -315,10 +395,35 @@ std::string GksServer::RunQuery(
                                         response.status().ToString());
     }
     span.AddItems(response->nodes.size());
-    return WireResponseBuilder::Query(request, *response, *snapshot,
-                                      snapshot->epoch, timer.ElapsedMillis());
+    QueryWireExtras extras;
+    std::vector<std::vector<DiContribution>> contributions;
+    if (request.shard) {
+      extras.shard_mode = true;
+      if (request.want_di_contrib) {
+        Result<Query> query = Query::Parse(request.query);
+        if (query.ok()) {
+          contributions = ComputeDiContributions(*snapshot, response->nodes,
+                                                 *query, DiOptions{});
+          extras.contributions = &contributions;
+        }
+      }
+    }
+    std::string result = WireResponseBuilder::Query(
+        request, *response, *snapshot, snapshot->epoch,
+        timer.ElapsedMillis(), extras);
+    if (wire_cacheable) wire_cache_->Put(wire_key, result);
+    return result;
   }
   std::shared_ptr<const XmlIndex> snapshot = index_state_.snapshot();
+  if (wire_cacheable) {
+    wire_key = WireResponseCache::MakeKey(line, snapshot->epoch);
+    std::string cached;
+    if (wire_cache_->Get(wire_key, &cached)) {
+      shard_cache_hits_->Increment();
+      return cached;
+    }
+    shard_cache_misses_->Increment();
+  }
   GksSearcher searcher(snapshot.get());
   searcher.set_cache(cache_.get());
   WallTimer timer;
@@ -330,8 +435,28 @@ std::string GksServer::RunQuery(
                                       response.status().ToString());
   }
   span.AddItems(response->nodes.size());
-  return WireResponseBuilder::Query(request, *response, *snapshot,
-                                    snapshot->epoch, timer.ElapsedMillis());
+  QueryWireExtras extras;
+  // Shard indexes hold global Dewey doc ids over a dense catalog; the
+  // offset is harmless zero everywhere else.
+  extras.doc_base = config_.doc_base;
+  std::vector<std::vector<DiContribution>> contributions;
+  if (request.shard) {
+    extras.shard_mode = true;
+    if (request.want_di_contrib) {
+      Result<Query> query = Query::Parse(request.query);
+      if (query.ok()) {
+        contributions = ComputeDiContributions(*snapshot, response->nodes,
+                                               *query, DiOptions{});
+        extras.contributions = &contributions;
+      }
+    }
+  }
+  std::string result = WireResponseBuilder::Query(request, *response,
+                                                  *snapshot, snapshot->epoch,
+                                                  timer.ElapsedMillis(),
+                                                  extras);
+  if (wire_cacheable) wire_cache_->Put(wire_key, result);
+  return result;
 }
 
 std::string GksServer::HandleWrite(const WireRequest& request) {
@@ -394,16 +519,28 @@ std::string GksServer::HandleAdmin(const WireRequest& request) {
       // first thing to compare when two replicas disagree on latency.
       load.Key("cpu").String(simd::CpuFeatures::Get().ToString());
       load.Key("dispatch").String(simd::Active().name);
+      if (coordinator_ != nullptr) {
+        load.Key("role").String("coordinator");
+        load.Key("shards").Raw(coordinator_->TopologyJson());
+      }
       load.EndObject();
-      return WireResponseBuilder::Admin(request, "serving",
-                                        index_state_.epoch(), "load",
+      return WireResponseBuilder::Admin(request, "serving", epoch(), "load",
                                         load.str());
     }
     case AdminVerb::kMetrics:
       return WireResponseBuilder::Admin(
-          request, "ok", index_state_.epoch(), "metrics",
+          request, "ok", epoch(), "metrics",
           MetricsRegistry::Global().Snapshot().ToJson());
     case AdminVerb::kStats: {
+      if (coordinator_ != nullptr) {
+        JsonWriter stats;
+        stats.BeginObject();
+        stats.Key("shards").UInt(coordinator_->shard_count());
+        stats.Key("topology").Raw(coordinator_->TopologyJson());
+        stats.EndObject();
+        return WireResponseBuilder::Admin(request, "ok", epoch(), "coord",
+                                          stats.str());
+      }
       if (index_state_.rt()) {
         Result<RtStats> rt = index_state_.GetRtStats();
         if (!rt.ok()) {
@@ -458,6 +595,12 @@ std::string GksServer::HandleAdmin(const WireRequest& request) {
                                         index_state_.epoch());
     }
     case AdminVerb::kReload: {
+      if (coordinator_ != nullptr) {
+        errors_total_->Increment();
+        return WireResponseBuilder::Error(
+            &request, wire_error::kReloadFailed,
+            "coordinator has no index; reload the shard workers");
+      }
       Result<uint64_t> epoch = index_state_.Reload(request.reload_path);
       if (!epoch.ok()) {
         errors_total_->Increment();
@@ -468,8 +611,7 @@ std::string GksServer::HandleAdmin(const WireRequest& request) {
       return WireResponseBuilder::Admin(request, "reloaded", *epoch);
     }
     case AdminVerb::kQuit:
-      return WireResponseBuilder::Admin(request, "draining",
-                                        index_state_.epoch());
+      return WireResponseBuilder::Admin(request, "draining", epoch());
   }
   return WireResponseBuilder::Error(&request, wire_error::kBadRequest,
                                     "unhandled admin verb");

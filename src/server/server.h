@@ -15,8 +15,10 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/result_cache.h"
+#include "server/coordinator.h"
 #include "server/index_state.h"
 #include "server/protocol.h"
+#include "server/wire_cache.h"
 
 namespace gks {
 
@@ -57,6 +59,28 @@ struct ServerConfig {
   size_t rt_merge_fanout = 4;
   /// Fsync the WAL on every commit (--rt-fsync=always|off).
   bool rt_fsync = true;
+
+  /// Coordinator mode (docs/DISTRIBUTED.md): non-empty turns this server
+  /// into a shard coordinator speaking the same wire protocol — it loads
+  /// no index and fans every query to the listed shard workers. Syntax:
+  /// comma-separated shards, pipe-separated replica mirrors, e.g.
+  /// "127.0.0.1:7001|127.0.0.1:7101,127.0.0.1:7002".
+  std::string coord_shards;
+  /// Per-query fan-out budget; the tighter of this and --deadline-ms.
+  double coord_deadline_ms = 2000.0;
+  /// Retry attempts per shard after the first failure (each prefers a
+  /// different healthy mirror).
+  int coord_retries = 2;
+  /// Base retry backoff / blackout seed, doubled per consecutive failure.
+  double coord_backoff_ms = 20.0;
+  /// Answer degraded (reachable shards only, "degraded": true) instead
+  /// of failing with shard_unavailable when a shard stays down.
+  bool coord_partial = false;
+
+  /// Shard-worker mode: this index's documents start at this global
+  /// Dewey doc id (the shard's doc_base in MANIFEST.json). Display-only
+  /// offset into the dense catalog; 0 for ordinary servers.
+  uint32_t doc_base = 0;
 };
 
 /// The long-running query server: a TCP listener speaking the
@@ -87,8 +111,14 @@ class GksServer {
 
   /// The bound port (valid after Start; the ephemeral answer for port 0).
   int port() const { return port_; }
-  /// Epoch of the snapshot currently serving.
-  uint64_t epoch() const { return index_state_.epoch(); }
+  /// Epoch of the snapshot currently serving (coordinators report the
+  /// highest worker epoch observed).
+  uint64_t epoch() const {
+    return coordinator_ != nullptr ? coordinator_->last_epoch()
+                                   : index_state_.epoch();
+  }
+  /// True when running as a shard coordinator (no local index).
+  bool is_coordinator() const { return coordinator_ != nullptr; }
 
   /// Signal-safe shutdown request (atomic flag; the accept thread acts
   /// on it within one poll tick). Idempotent.
@@ -118,7 +148,9 @@ class GksServer {
   /// Real-time insert/delete, run inline on the connection thread (the
   /// RtIndex serializes commits; parking a worker would add nothing).
   std::string HandleWrite(const WireRequest& request);
-  std::string RunQuery(const WireRequest& request,
+  /// `line` is the raw request line, used verbatim (plus epoch) as the
+  /// shard wire-cache key when the request qualifies.
+  std::string RunQuery(const WireRequest& request, const std::string& line,
                        std::chrono::steady_clock::time_point admitted);
   void DrainAndCloseConnections();
 
@@ -126,6 +158,12 @@ class GksServer {
   ServerIndexState index_state_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<QueryResultCache> cache_;
+  /// Serialized shard-partial lines (docs/DISTRIBUTED.md): a shard
+  /// response ships every node with describe text and DI contributions,
+  /// so re-serializing per request costs far more than the cached
+  /// search. Enabled together with cache_.
+  std::unique_ptr<WireResponseCache> wire_cache_;
+  std::unique_ptr<ShardCoordinator> coordinator_;
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -157,6 +195,8 @@ class GksServer {
   Gauge* queue_depth_gauge_;
   Histogram* request_latency_;
   Histogram* queue_wait_;
+  Counter* shard_cache_hits_;
+  Counter* shard_cache_misses_;
 };
 
 }  // namespace gks

@@ -1,0 +1,60 @@
+#include "server/wire_cache.h"
+
+namespace gks {
+
+WireResponseCache::WireResponseCache(size_t max_bytes)
+    : max_bytes_(max_bytes) {}
+
+std::string WireResponseCache::MakeKey(std::string_view request_line,
+                                       uint64_t epoch) {
+  std::string key;
+  key.reserve(request_line.size() + 24);
+  key.append(request_line);
+  key.push_back('\x1f');  // cannot appear in a JSON request line
+  key.append(std::to_string(epoch));
+  return key;
+}
+
+bool WireResponseCache::Get(const std::string& key, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->line;
+  return true;
+}
+
+void WireResponseCache::Put(const std::string& key, const std::string& line) {
+  size_t cost = key.size() + line.size();
+  if (cost > max_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second->key.size() + it->second->line.size();
+    bytes_ += cost;
+    it->second->line = line;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, line});
+    map_[key] = lru_.begin();
+    bytes_ += cost;
+  }
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.key.size() + victim.line.size();
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+size_t WireResponseCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t WireResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace gks

@@ -230,6 +230,32 @@ TEST(SegmentSearchTest, CacheIsKeyedByTheSnapshotEpoch) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(SegmentSearchTest, PooledSearchIsIdenticalToTheInlineWalk) {
+  // With a pool the per-segment pipelines fan out on ParallelFor and the
+  // merge re-establishes the deterministic order; responses must be
+  // indistinguishable from the sequential loop, DI and refinements
+  // included.
+  ThreadPool pool(4);
+  auto snapshot = MakeSnapshot({2, 2, 1});
+  SegmentSearcher inline_searcher(snapshot);
+  SegmentSearcher pooled_searcher(snapshot);
+  pooled_searcher.set_pool(&pool);
+  for (const char* query : {"keyword", "xml keyword search",
+                            "database ranking", "\"keyword search\""}) {
+    SCOPED_TRACE(query);
+    for (uint32_t s : {1u, 2u}) {
+      SearchOptions options;
+      options.s = s;
+      Result<SearchResponse> expected =
+          inline_searcher.Search(query, options);
+      Result<SearchResponse> pooled = pooled_searcher.Search(query, options);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+      ExpectEquivalent(*expected, *pooled);
+    }
+  }
+}
+
 TEST(SegmentSearchTest, DescribeNodeResolvesTheOwningSegment) {
   auto snapshot = MakeSnapshot({2, 3});
   SearchResponse response = SearchSnapshot(snapshot, "potential flow");

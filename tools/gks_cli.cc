@@ -54,6 +54,7 @@
 #include "index/index_builder.h"
 #include "index/parallel_build.h"
 #include "index/serialization.h"
+#include "index/shard.h"
 #include "schema/schema_summary.h"
 #include "server/command.h"
 #include "xml/sax_parser.h"
@@ -83,6 +84,11 @@ int Usage() {
       "             [--agg=TAG] [--hist=TAG:BUCKETS]\n"
       "  gks schema <index.gksidx>\n"
       "  gks stats  <index.gksidx> [--metrics] [--metrics-json]\n"
+      "  gks shard  <out-dir> <file.xml...> --shards=N [--threads=N]\n"
+      "             [--format=v2|v2-nobounds|v1]\n"
+      "             (split into contiguous document-range shard indexes +\n"
+      "              MANIFEST.json for distributed serving,\n"
+      "              docs/DISTRIBUTED.md)\n"
       "  gks serve  <index.gksidx> [--port=N] [--host=H] [--threads=N]\n"
       "             [--queue=N] [--deadline-ms=D] [--cache=CAP]\n"
       "             [--max-request-bytes=N]\n"
@@ -521,6 +527,45 @@ int CmdGenerate(const FlagParser& flags) {
   return 0;
 }
 
+// `gks shard`: split a repository into contiguous document-range shard
+// indexes plus a MANIFEST.json, each servable by an ordinary
+// `gks serve shard_NN.gksidx --doc-base=B` worker behind a
+// `gks serve --coord-shards=...` coordinator (docs/DISTRIBUTED.md).
+int CmdShard(const FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 3) return Usage();
+  size_t shard_count = static_cast<size_t>(flags.GetInt("shards", 2));
+  if (shard_count == 0) return Usage();
+  std::string format_name = flags.GetString("format", "v2");
+  IndexFormat format;
+  if (format_name == "v1") {
+    format = IndexFormat::kV1;
+  } else if (format_name == "v2") {
+    format = IndexFormat::kV2;
+  } else if (format_name == "v2-nobounds") {
+    format = IndexFormat::kV2NoRankBounds;
+  } else {
+    return Usage();
+  }
+  std::vector<std::string> xml_files(args.begin() + 2, args.end());
+  int threads = static_cast<int>(flags.GetInt("threads", 1));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  WallTimer timer;
+  Result<ShardManifest> manifest = SplitIntoShards(
+      xml_files, shard_count, args[1], format, pool.get());
+  if (!manifest.ok()) return Fail(manifest.status());
+  std::printf("wrote %zu shards (%u documents) to %s in %.2fs\n",
+              manifest->shards.size(),
+              (unsigned)manifest->total_documents(), args[1].c_str(),
+              timer.ElapsedSeconds());
+  for (const ShardSpec& shard : manifest->shards) {
+    std::printf("  %-18s doc_base=%-6u docs=%u\n", shard.file.c_str(),
+                shard.doc_base, shard.doc_count);
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
@@ -532,6 +577,7 @@ int Run(int argc, char** argv) {
   if (command == "schema") return CmdSchema(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "generate") return CmdGenerate(flags);
+  if (command == "shard") return CmdShard(flags);
   if (command == "serve") return RunServeCommand(flags);
   if (command == "client") return RunClientCommand(flags);
   return Usage();

@@ -4,8 +4,14 @@
 // a server without dragging in the full `gks` tool.
 //
 //   gks_client --port=N --queries=queries.txt --connections=8 --requests=200
+//   gks_client --port=N --queries=q.txt --endpoints=H:P,H:P --json-out=r.json
 //   gks_client --port=N --query='"Peter Buneman"' --s=1 --top=5
 //   gks_client --port=N --admin=health|metrics|stats|reload|quit
+//
+// --endpoints spreads the load-generator connections round-robin over
+// additional servers (coordinators or workers, docs/DISTRIBUTED.md);
+// --json-out dumps the full report (p50/p95/p99, degraded counts) as one
+// JSON object for benches and scripts.
 //
 // Wire protocol and error codes: docs/SERVER.md.
 
